@@ -1,0 +1,33 @@
+// Ablation — contribution of OLIVE's compensation mechanisms (§III-C).
+//
+// Not a paper figure: DESIGN.md calls out OLIVE's three dynamic mechanisms
+// (borrowing, preemption, greedy fallback) as distinct design choices; this
+// bench isolates each by disabling it and re-running the Fig. 6 setting on
+// Iris.  Expected: every mechanism contributes — plan-only rejects the most
+// (no way to serve unplanned deviations), no-borrow wastes under-used
+// guarantees, no-preempt lets borrowers squat on guaranteed capacity.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace olive;
+  const auto scale = bench::bench_scale();
+  bench::print_header("Ablation: OLIVE mechanisms, Iris", scale);
+
+  Table table({"utilization_pct", "variant", "rejection_rate_pct",
+               "total_cost"});
+  std::cout << "utilization_pct,variant,rejection_rate_pct,total_cost\n";
+  for (const double u : bench::utilization_points(scale)) {
+    const auto cfg = bench::base_config(scale, "Iris", u);
+    for (const std::string variant :
+         {"OLIVE", "OLIVE-NoBorrow", "OLIVE-NoPreempt", "OLIVE-PlanOnly",
+          "QuickG"}) {
+      const auto res = bench::run_repetitions(cfg, variant, scale.reps);
+      bench::stream_row(table, {Table::num(100 * u, 0), variant,
+                                bench::pct(res.rejection_rate),
+                                bench::with_ci(res.total_cost)});
+    }
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  return 0;
+}

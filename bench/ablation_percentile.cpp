@@ -1,0 +1,44 @@
+// Ablation — the choice of the aggregation percentile (§III-A).
+//
+// The paper plans for the bootstrapped P̂80 of the per-slot class demand
+// "to avoid over-provisioning" relative to the full peak P̂100.  This bench
+// sweeps α ∈ {50, 80, 95, 100} on Iris at 100% utilization and also reports
+// the §III-A conformance check (share of classes whose observed online Pα
+// falls inside the history estimate's 95% CI).
+#include "bench/common.hpp"
+#include "core/aggregation.hpp"
+
+int main() {
+  using namespace olive;
+  const auto scale = bench::bench_scale();
+  bench::print_header("Ablation: aggregation percentile, Iris @100%", scale);
+
+  Table table({"alpha", "rejection_rate_pct", "total_cost",
+               "conforming_classes_pct"});
+  std::cout << "alpha,rejection_rate_pct,total_cost,conforming_classes_pct\n";
+  for (const double alpha : {50.0, 80.0, 95.0, 100.0}) {
+    auto cfg = bench::base_config(scale, "Iris", 1.0);
+    cfg.aggregation.alpha = alpha;
+    std::vector<double> rej, cost, conf;
+    for (int rep = 0; rep < scale.reps; ++rep) {
+      const core::Scenario sc = core::build_scenario(cfg, rep);
+      const auto m = core::run_algorithm(sc, "OLIVE");
+      rej.push_back(m.rejection_rate());
+      cost.push_back(m.total_cost());
+      Rng crng(cfg.seed + 17 * rep);
+      core::AggregationConfig acfg = cfg.aggregation;
+      acfg.horizon = cfg.trace.plan_slots;
+      const auto report = core::demand_conformance(
+          sc.history, sc.online, static_cast<int>(sc.apps.size()),
+          sc.substrate.num_nodes(), acfg, crng);
+      conf.push_back(report.conforming_fraction());
+    }
+    bench::stream_row(table,
+                      {Table::num(alpha, 0), bench::pct(stats::mean_ci(rej)),
+                       bench::with_ci(stats::mean_ci(cost)),
+                       bench::pct(stats::mean_ci(conf))});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  return 0;
+}

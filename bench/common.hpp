@@ -1,0 +1,137 @@
+// Shared infrastructure for the figure/table reproduction binaries.
+//
+// Every bench prints the rows/series of one paper figure or table.  Two
+// scales are supported:
+//   * quick (default): reduced horizon / repetitions so the whole harness
+//     finishes in minutes on a laptop;
+//   * full  (OLIVE_REPRO_FULL=1): the paper's 6000-slot traces with
+//     5400-slot histories and more repetitions.
+// OLIVE_BENCH_REPS=<n> overrides the repetition count at either scale.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "stats/stats.hpp"
+#include "util/table.hpp"
+
+namespace olive::bench {
+
+struct BenchScale {
+  bool full = false;
+  int reps = 3;
+  int horizon = 1500;
+  int plan_slots = 1200;
+  int measure_from = 50;
+  int measure_to = 250;
+};
+
+inline BenchScale bench_scale() {
+  BenchScale s;
+  const char* full = std::getenv("OLIVE_REPRO_FULL");
+  if (full && std::string(full) == "1") {
+    s.full = true;
+    s.reps = 30;
+    s.horizon = 6000;
+    s.plan_slots = 5400;
+    s.measure_from = 100;
+    s.measure_to = 500;
+  }
+  if (const char* reps = std::getenv("OLIVE_BENCH_REPS")) {
+    s.reps = std::max(1, std::atoi(reps));
+  }
+  return s;
+}
+
+/// Base scenario config at the harness scale.
+inline core::ScenarioConfig base_config(const BenchScale& s,
+                                        const std::string& topology,
+                                        double utilization,
+                                        std::uint64_t seed = 7) {
+  core::ScenarioConfig cfg;
+  cfg.topology = topology;
+  cfg.utilization = utilization;
+  cfg.seed = seed;
+  cfg.trace.horizon = s.horizon;
+  cfg.trace.plan_slots = s.plan_slots;
+  cfg.sim.measure_from = s.measure_from;
+  cfg.sim.measure_to = s.measure_to;
+  return cfg;
+}
+
+struct AggregatedResult {
+  stats::MeanCi rejection_rate;
+  stats::MeanCi total_cost;
+  stats::MeanCi resource_cost;
+  stats::MeanCi rejection_cost;
+  stats::MeanCi algo_seconds;
+};
+
+/// Runs `algorithm` for `reps` repetitions of `cfg` and aggregates.
+inline AggregatedResult run_repetitions(const core::ScenarioConfig& cfg,
+                                        const std::string& algorithm,
+                                        int reps) {
+  std::vector<double> rej, cost, rcost, jcost, secs;
+  for (int rep = 0; rep < reps; ++rep) {
+    const core::Scenario sc = core::build_scenario(cfg, rep);
+    const auto m = core::run_algorithm(sc, algorithm);
+    rej.push_back(m.rejection_rate());
+    cost.push_back(m.total_cost());
+    rcost.push_back(m.resource_cost);
+    jcost.push_back(m.rejection_cost);
+    secs.push_back(m.algo_seconds);
+  }
+  return {stats::mean_ci(rej), stats::mean_ci(cost), stats::mean_ci(rcost),
+          stats::mean_ci(jcost), stats::mean_ci(secs)};
+}
+
+inline std::string pct(const stats::MeanCi& ci) {
+  return Table::num(100 * ci.mean, 2) + " ±" + Table::num(100 * ci.half_width, 2);
+}
+
+inline std::string with_ci(const stats::MeanCi& ci, int precision = 0) {
+  return Table::num(ci.mean, precision) + " ±" +
+         Table::num(ci.half_width, precision);
+}
+
+inline void print_header(const std::string& what, const BenchScale& s) {
+  std::cout << "# " << what << "\n"
+            << "# scale=" << (s.full ? "full(paper)" : "quick") << " reps="
+            << s.reps << " horizon=" << s.horizon << " plan_slots="
+            << s.plan_slots << " window=[" << s.measure_from << ","
+            << s.measure_to << ")\n";
+}
+
+/// Utilization sweep points: the paper's five at full scale, the three key
+/// points at quick scale.
+inline std::vector<double> utilization_points(const BenchScale& s) {
+  if (s.full) return {0.6, 0.8, 1.0, 1.2, 1.4};
+  return {0.6, 1.0, 1.4};
+}
+
+/// SLOTOFF re-solves an LP every slot, which dominates harness wall-clock on
+/// the two large topologies; quick scale restricts it to Iris/CittaStudi and
+/// a single repetition (documented in EXPERIMENTS.md).
+inline bool slotoff_enabled(const BenchScale& s, const std::string& topology) {
+  return s.full || topology == "Iris" || topology == "CittaStudi";
+}
+
+inline int algo_reps(const BenchScale& s, const std::string& algorithm) {
+  if (algorithm == "SlotOff" && !s.full) return 1;
+  if (algorithm == "FullG" && !s.full) return 1;
+  return s.reps;
+}
+
+/// Streams one table row immediately (benches print incrementally so long
+/// sweeps show progress).
+inline void stream_row(Table& table, const std::vector<std::string>& cells) {
+  table.add_row(cells);
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    std::cout << (i ? "," : "") << cells[i];
+  std::cout << std::endl;  // flush for live progress
+}
+
+}  // namespace olive::bench

@@ -1,0 +1,36 @@
+// Fig. 10 — the GPU scenario: Iris with half the core nodes and four random
+// edge nodes turned into GPU datacenters (non-GPU nodes lose 25% capacity),
+// running four chain applications that each contain one GPU VNF.
+//
+// QUICKG cannot participate: its collocation restriction cannot host a
+// GPU/non-GPU VNF mix on one node (§IV-B).  Paper shape: OLIVE lands ~2%
+// above SLOTOFF and ~12% below FULLG.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace olive;
+  const auto scale = bench::bench_scale();
+  bench::print_header("Fig. 10: GPU scenario, Iris @100%", scale);
+
+  auto cfg = bench::base_config(scale, "Iris", 1.0);
+  cfg.gpu_variant = true;
+  cfg.mix = workload::gpu_mix();
+  if (!scale.full) {
+    cfg.trace.lambda_per_node = 1.0;  // FULLG solves an ILP per request
+    cfg.sim.measure_from = 20;
+    cfg.sim.measure_to = 60;
+    cfg.sim.drain_slots = 25;
+  }
+
+  Table table({"algorithm", "rejection_rate_pct", "algo_seconds"});
+  std::cout << "algorithm,rejection_rate_pct,algo_seconds\n";
+  for (const std::string algo : {"FullG", "OLIVE", "SlotOff"}) {
+    const auto res =
+        bench::run_repetitions(cfg, algo, bench::algo_reps(scale, algo));
+    bench::stream_row(table, {algo, bench::pct(res.rejection_rate),
+                              Table::num(res.algo_seconds.mean, 2)});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  return 0;
+}

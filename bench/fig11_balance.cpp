@@ -1,0 +1,39 @@
+// Fig. 11 — rejection balance index (Eq. 20) vs number of rejection
+// quantiles, Iris at 140% utilization.
+//
+// Paper shape: QUICKG (no planning, no quantiles) scores ~0.53; OLIVE rises
+// from ~0.65 with one quantile to ~0.84 with two and ~0.89 with 10; going
+// beyond 10 quantiles adds nothing (hence P=10 everywhere else).
+#include "bench/common.hpp"
+
+int main() {
+  using namespace olive;
+  const auto scale = bench::bench_scale();
+  bench::print_header("Fig. 11: balance index by quantiles, Iris @140%", scale);
+
+  Table table({"algorithm", "quantiles", "balance_index"});
+  std::cout << "algorithm,quantiles,balance_index\n";
+
+  auto balance_of = [&](const std::string& algo, int quantiles) {
+    auto cfg = bench::base_config(scale, "Iris", 1.4);
+    cfg.plan.quantiles = quantiles;
+    std::vector<double> vals;
+    for (int rep = 0; rep < scale.reps; ++rep) {
+      const core::Scenario sc = core::build_scenario(cfg, rep);
+      const auto m = core::run_algorithm(sc, algo);
+      vals.push_back(stats::rejection_balance_index(m.rejected_by_node_app,
+                                                    m.requests_by_node));
+    }
+    return stats::mean_ci(vals);
+  };
+
+  bench::stream_row(table, {"QuickG", "-",
+                            bench::with_ci(balance_of("QuickG", 10), 3)});
+  for (const int q : {1, 2, 10, 50}) {
+    bench::stream_row(table, {"OLIVE", std::to_string(q),
+                              bench::with_ci(balance_of("OLIVE", q), 3)});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  return 0;
+}

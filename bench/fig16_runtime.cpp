@@ -1,0 +1,64 @@
+// Fig. 16 — runtime scalability.
+//  (a) OLIVE and QUICKG simulation runtime vs request arrival rate on Iris
+//      at 100% utilization (utilization held constant by scaling the mean
+//      request size) — the paper's headline: runtime grows linearly because
+//      requests are processed serially.
+//  (b-e) runtime vs utilization on each topology.
+//
+// Paper shape: linear in arrival rate for both; OLIVE's runtime grows with
+// utilization (depleted residual plan pushes work to the greedy/preempt
+// paths), QUICKG's falls (its implementation rejects immediately when
+// datacenters fill up).  Absolute numbers are ours, not the paper's Xeon.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace olive;
+  const auto scale = bench::bench_scale();
+  bench::print_header("Fig. 16: runtime scalability", scale);
+
+  std::cout << "## (a) Iris @100%: runtime vs arrival rate\n";
+  Table ta({"lambda_per_node", "requests_per_slot", "algorithm",
+            "algo_seconds", "us_per_request"});
+  std::cout << "lambda_per_node,requests_per_slot,algorithm,algo_seconds,"
+               "us_per_request\n";
+  for (const double lambda : {2.0, 5.0, 10.0, 20.0}) {
+    auto cfg = bench::base_config(scale, "Iris", 1.0);
+    cfg.trace.lambda_per_node = lambda;
+    for (const std::string algo : {"OLIVE", "QuickG"}) {
+      std::vector<double> secs, per_req;
+      for (int rep = 0; rep < scale.reps; ++rep) {
+        const core::Scenario sc = core::build_scenario(cfg, rep);
+        const auto m = core::run_algorithm(sc, algo);
+        secs.push_back(m.algo_seconds);
+        const long total =
+            static_cast<long>(sc.online.size());
+        per_req.push_back(total > 0 ? 1e6 * m.algo_seconds / total : 0);
+      }
+      const auto s = stats::mean_ci(secs);
+      const auto p = stats::mean_ci(per_req);
+      bench::stream_row(ta, {Table::num(lambda, 0),
+                             Table::num(lambda * 50, 0), algo,
+                             Table::num(s.mean, 3), Table::num(p.mean, 2)});
+    }
+  }
+  std::cout << "\n";
+  ta.print(std::cout);
+
+  std::cout << "\n## (b-e) runtime vs utilization per topology\n";
+  Table tb({"topology", "utilization_pct", "algorithm", "algo_seconds"});
+  std::cout << "topology,utilization_pct,algorithm,algo_seconds\n";
+  for (const std::string topo :
+       {"Iris", "CittaStudi", "5GEN", "100N150E"}) {
+    for (const double u : bench::utilization_points(scale)) {
+      const auto cfg = bench::base_config(scale, topo, u);
+      for (const std::string algo : {"OLIVE", "QuickG"}) {
+        const auto res = bench::run_repetitions(cfg, algo, scale.reps);
+        bench::stream_row(tb, {topo, Table::num(100 * u, 0), algo,
+                               Table::num(res.algo_seconds.mean, 3)});
+      }
+    }
+  }
+  std::cout << "\n";
+  tb.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Fig. 6 — request rejection rate vs edge utilization (60%..140%) on the
+// four evaluation topologies, for OLIVE, QUICKG and SLOTOFF.
+//
+// Paper shape: rejection grows with utilization for everyone; OLIVE is far
+// below QUICKG (about 2x fewer rejections at high load) and within ~4
+// percentage points of SLOTOFF.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace olive;
+  const auto scale = bench::bench_scale();
+  bench::print_header("Fig. 6: rejection rate vs utilization", scale);
+
+  const std::vector<std::string> topologies{"Iris", "CittaStudi", "5GEN",
+                                            "100N150E"};
+  const std::vector<std::string> algos{"OLIVE", "QuickG", "SlotOff"};
+
+  Table table({"topology", "utilization_pct", "algorithm",
+               "rejection_rate_pct"});
+  std::cout << "topology,utilization_pct,algorithm,rejection_rate_pct\n";
+  for (const auto& topo : topologies) {
+    for (const double u : bench::utilization_points(scale)) {
+      const auto cfg = bench::base_config(scale, topo, u);
+      for (const auto& algo : algos) {
+        if (algo == "SlotOff" && !bench::slotoff_enabled(scale, topo)) continue;
+        const auto res =
+            bench::run_repetitions(cfg, algo, bench::algo_reps(scale, algo));
+        bench::stream_row(table, {topo, Table::num(100 * u, 0), algo,
+                                  bench::pct(res.rejection_rate)});
+      }
+    }
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 7 — total embedding cost (resource cost Eq. 3 + rejection cost
+// Eq. 4) for the same utilization sweep as Fig. 6.
+//
+// Paper shape: OLIVE's cost beats QUICKG at every utilization level and on
+// every topology, staying close to SLOTOFF.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace olive;
+  const auto scale = bench::bench_scale();
+  bench::print_header("Fig. 7: total cost vs utilization", scale);
+
+  const std::vector<std::string> topologies{"Iris", "CittaStudi", "5GEN",
+                                            "100N150E"};
+  const std::vector<std::string> algos{"OLIVE", "QuickG", "SlotOff"};
+
+  Table table({"topology", "utilization_pct", "algorithm", "total_cost",
+               "resource_cost", "rejection_cost"});
+  std::cout << "topology,utilization_pct,algorithm,total_cost,resource_cost,"
+               "rejection_cost\n";
+  for (const auto& topo : topologies) {
+    for (const double u : bench::utilization_points(scale)) {
+      const auto cfg = bench::base_config(scale, topo, u);
+      for (const auto& algo : algos) {
+        if (algo == "SlotOff" && !bench::slotoff_enabled(scale, topo)) continue;
+        const auto res =
+            bench::run_repetitions(cfg, algo, bench::algo_reps(scale, algo));
+        bench::stream_row(
+            table, {topo, Table::num(100 * u, 0), algo,
+                    bench::with_ci(res.total_cost),
+                    Table::num(res.resource_cost.mean, 0),
+                    Table::num(res.rejection_cost.mean, 0)});
+      }
+    }
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table II — the four physical topologies and the tier parameters.
+// Prints node/link counts per topology (matching the paper's published
+// numbers) and the tier capacity/cost table the builders implement.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace olive;
+  const auto scale = bench::bench_scale();
+  bench::print_header("Table II: topologies and tier parameters", scale);
+
+  Rng rng(42);
+  Table t({"topology", "nodes", "links", "edge_nodes", "transport_nodes",
+           "core_nodes"});
+  for (auto& [name, s] : topo::evaluation_topologies(rng)) {
+    t.add_row({name, std::to_string(s.num_nodes()),
+               std::to_string(s.num_links()),
+               std::to_string(s.nodes_in_tier(net::Tier::Edge).size()),
+               std::to_string(s.nodes_in_tier(net::Tier::Transport).size()),
+               std::to_string(s.nodes_in_tier(net::Tier::Core).size())});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n";
+  Table p({"tier", "node_cap_CU", "mean_node_cost_per_CU", "link_cap_CU",
+           "link_cost_per_CU"});
+  for (const auto tier :
+       {net::Tier::Edge, net::Tier::Transport, net::Tier::Core}) {
+    const auto tp = topo::tier_params(tier);
+    p.add_row({net::to_string(tier), Table::num(tp.node_capacity, 0),
+               Table::num(tp.mean_node_cost, 0),
+               Table::num(tp.link_capacity, 0),
+               Table::num(tp.link_cost, 0)});
+  }
+  p.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "core/aggregation.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace olive::core {
+
+std::vector<double> class_demand_series(const workload::Trace& history,
+                                        int app, net::NodeId ingress,
+                                        int horizon) {
+  OLIVE_REQUIRE(horizon > 0, "horizon must be positive");
+  // Difference array: +d at arrival, -d at departure, then prefix-sum.
+  std::vector<double> diff(static_cast<std::size_t>(horizon) + 1, 0.0);
+  for (const workload::Request& r : history) {
+    if (r.app != app || r.ingress != ingress) continue;
+    if (r.arrival >= horizon) continue;
+    diff[r.arrival] += r.demand;
+    diff[std::min(r.departure(), horizon)] -= r.demand;
+  }
+  std::vector<double> series(horizon);
+  double acc = 0;
+  for (int t = 0; t < horizon; ++t) {
+    acc += diff[t];
+    series[t] = acc;
+  }
+  return series;
+}
+
+ConformanceReport demand_conformance(const workload::Trace& history,
+                                     const workload::Trace& online,
+                                     int num_apps, int num_nodes,
+                                     const AggregationConfig& config,
+                                     Rng& rng) {
+  OLIVE_REQUIRE(!online.empty(), "online trace must be non-empty");
+  // Observation window of the online period, re-based to its first slot.
+  const int online_base = online.front().arrival;
+  int online_horizon = 1;
+  for (const auto& r : online)
+    online_horizon = std::max(online_horizon, r.arrival - online_base + 1);
+  workload::Trace rebased = online;
+  for (auto& r : rebased) r.arrival -= online_base;
+
+  ConformanceReport report;
+  for (int app = 0; app < num_apps; ++app) {
+    for (net::NodeId v = 0; v < num_nodes; ++v) {
+      const auto hist_series =
+          class_demand_series(history, app, v, config.horizon);
+      const bool hist_empty =
+          std::all_of(hist_series.begin(), hist_series.end(),
+                      [](double d) { return d == 0.0; });
+      if (hist_empty) continue;
+      ++report.classes_checked;
+      Rng class_rng = rng.fork(static_cast<std::uint64_t>(app) * num_nodes + v);
+      const auto est = stats::bootstrap_percentile(
+          hist_series, config.alpha, config.bootstrap_resamples, class_rng);
+      const auto online_series =
+          class_demand_series(rebased, app, v, online_horizon);
+      const double observed = stats::percentile(online_series, config.alpha);
+      if (observed >= est.ci_low && observed <= est.ci_high)
+        ++report.conforming;
+    }
+  }
+  return report;
+}
+
+std::vector<AggregateRequest> aggregate_history(
+    const workload::Trace& history, int num_apps, int num_nodes,
+    const AggregationConfig& config, Rng& rng) {
+  OLIVE_REQUIRE(num_apps > 0 && num_nodes > 0, "empty problem dimensions");
+  OLIVE_REQUIRE(config.horizon > 0, "aggregation horizon must be positive");
+  OLIVE_REQUIRE(config.alpha >= 0 && config.alpha <= 100,
+                "alpha must be a percentile");
+
+  // One pass: per-class difference arrays (classes are dense: app*nodes+v).
+  const std::size_t n_classes =
+      static_cast<std::size_t>(num_apps) * static_cast<std::size_t>(num_nodes);
+  const int horizon = config.horizon;
+  std::vector<std::vector<double>> diff(n_classes);
+  std::vector<int> counts(n_classes, 0);
+  for (const workload::Request& r : history) {
+    OLIVE_REQUIRE(r.app >= 0 && r.app < num_apps, "request app out of range");
+    OLIVE_REQUIRE(r.ingress >= 0 && r.ingress < num_nodes,
+                  "request ingress out of range");
+    if (r.arrival >= horizon) continue;
+    const std::size_t c = static_cast<std::size_t>(r.app) * num_nodes +
+                          static_cast<std::size_t>(r.ingress);
+    if (diff[c].empty()) diff[c].assign(static_cast<std::size_t>(horizon) + 1, 0.0);
+    diff[c][r.arrival] += r.demand;
+    diff[c][std::min(r.departure(), horizon)] -= r.demand;
+    ++counts[c];
+  }
+
+  std::vector<AggregateRequest> out;
+  std::vector<double> series(horizon);
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    if (diff[c].empty()) continue;
+    double acc = 0, peak = 0;
+    for (int t = 0; t < horizon; ++t) {
+      acc += diff[c][t];
+      series[t] = acc;
+      peak = std::max(peak, acc);
+    }
+    AggregateRequest agg;
+    agg.app = static_cast<int>(c) / num_nodes;
+    agg.ingress = static_cast<int>(c) % num_nodes;
+    agg.request_count = counts[c];
+    agg.peak_demand = peak;
+    Rng class_rng = rng.fork(static_cast<std::uint64_t>(c) + 1);
+    agg.demand = stats::bootstrap_percentile(series, config.alpha,
+                                             config.bootstrap_resamples,
+                                             class_rng)
+                     .estimate;
+    if (agg.demand > 1e-12) out.push_back(std::move(agg));
+  }
+  return out;
+}
+
+}  // namespace olive::core

@@ -1,0 +1,68 @@
+// Time-aggregation of the request history (paper §III-A, Eqs. 5–6).
+//
+// The history R_HIST is grouped into classes r̃_{a,v} by (application,
+// ingress datacenter).  For each class we build the per-slot active-demand
+// series d(r̃, t) and estimate the expected aggregated demand d(r̃) as the
+// bootstrapped α-percentile of that series (P̂80 by default — the paper's
+// choice that avoids over-provisioning relative to the full peak P̂100).
+#pragma once
+
+#include <vector>
+
+#include "net/substrate.hpp"
+#include "stats/stats.hpp"
+#include "util/rng.hpp"
+#include "workload/request.hpp"
+
+namespace olive::core {
+
+/// One aggregated request r̃_{a,v} with its expected demand d(r̃).
+struct AggregateRequest {
+  int app = -1;
+  net::NodeId ingress = -1;
+  double demand = 0;         ///< d(r̃): bootstrapped P̂α of d(r̃, t)
+  double peak_demand = 0;    ///< max_t d(r̃, t), for diagnostics
+  int request_count = 0;     ///< |r̃| in the history
+};
+
+struct AggregationConfig {
+  double alpha = 80.0;        ///< percentile (P̂80 in the paper)
+  int bootstrap_resamples = 50;
+  /// Only slots in [0, horizon) are aggregated; requests active past the
+  /// end are clipped.
+  int horizon = 5400;
+};
+
+/// Groups `history` by (app, ingress) and estimates each class's expected
+/// demand.  Classes that never appear are omitted.  Deterministic in `rng`.
+std::vector<AggregateRequest> aggregate_history(
+    const workload::Trace& history, int num_apps, int num_nodes,
+    const AggregationConfig& config, Rng& rng);
+
+/// The per-slot demand series of one class (exposed for tests and for the
+/// conformance analysis of §III-A).
+std::vector<double> class_demand_series(const workload::Trace& history,
+                                        int app, net::NodeId ingress,
+                                        int horizon);
+
+/// §III-A conformance check: the online demand *conforms* to the history's
+/// expectations when each class's observed Pα over the online period falls
+/// within the 95% bootstrap confidence interval of the P̂α estimated from
+/// R_HIST.  OLIVE is designed to tolerate non-conformance (Figs. 13–14),
+/// but the check tells an operator when the plan should be recomputed.
+struct ConformanceReport {
+  int classes_checked = 0;
+  int conforming = 0;
+  double conforming_fraction() const {
+    return classes_checked == 0
+               ? 1.0
+               : static_cast<double>(conforming) / classes_checked;
+  }
+};
+
+ConformanceReport demand_conformance(const workload::Trace& history,
+                                     const workload::Trace& online,
+                                     int num_apps, int num_nodes,
+                                     const AggregationConfig& config, Rng& rng);
+
+}  // namespace olive::core

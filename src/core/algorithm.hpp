@@ -1,0 +1,56 @@
+// Interface shared by the per-request online embedding algorithms
+// (OLIVE, QUICKG, FULLG).  The SLOTOFF baseline re-allocates whole slots and
+// has its own driver (see simulator.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/load.hpp"
+#include "workload/request.hpp"
+
+namespace olive::core {
+
+/// How an accepted request was embedded (Fig. 12's categories).
+enum class OutcomeKind {
+  Planned,   ///< followed the plan within the class's guaranteed share
+  Borrowed,  ///< partial plan fit: used a plan column, "borrowing" capacity
+  Greedy,    ///< ad-hoc GREEDYEMBED / exact fallback
+  Rejected,
+};
+
+const char* to_string(OutcomeKind k) noexcept;
+
+struct EmbedOutcome {
+  OutcomeKind kind = OutcomeKind::Rejected;
+  /// Resource cost per demand unit of the chosen embedding (accepted only).
+  double unit_cost = 0;
+  /// Per-unit-demand element usage (accepted only).
+  Usage usage;
+  /// Requests preempted to make room (their resources are already released).
+  std::vector<int> preempted_ids;
+
+  bool accepted() const noexcept { return kind != OutcomeKind::Rejected; }
+};
+
+class OnlineEmbedder {
+ public:
+  virtual ~OnlineEmbedder() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Clears all state (active allocations, residuals) for a fresh run.
+  virtual void reset() = 0;
+
+  /// Processes request r in arrival order (ON-VNE, Fig. 2).
+  virtual EmbedOutcome embed(const workload::Request& r) = 0;
+
+  /// Releases the resources of a departing accepted request.  Calling this
+  /// for a rejected or preempted request is a no-op.
+  virtual void depart(const workload::Request& r) = 0;
+
+  /// Residual substrate view (diagnostics / tests).
+  virtual const LoadTracker& load() const = 0;
+};
+
+}  // namespace olive::core

@@ -1,0 +1,240 @@
+#include "core/embedder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace olive::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+EffectiveCosts EffectiveCosts::plain(const net::SubstrateNetwork& s) {
+  EffectiveCosts c;
+  c.node_cost.resize(s.num_nodes());
+  for (net::NodeId v = 0; v < s.num_nodes(); ++v)
+    c.node_cost[v] = s.node(v).cost;
+  c.link_weight = net::link_cost_weights(s);
+  return c;
+}
+
+std::optional<net::Embedding> min_cost_tree_embedding(
+    const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
+    net::NodeId ingress, const EffectiveCosts& costs,
+    const net::AllPairsShortestPaths& apsp) {
+  OLIVE_REQUIRE(ingress >= 0 && ingress < s.num_nodes(), "ingress out of range");
+  const int n_sub = s.num_nodes();
+  const int n_virt = vn.num_nodes();
+
+  // dp[i][v] = min cost of embedding the subtree rooted at virtual node i
+  // with i placed on substrate node v.  choice[i][v] = best host of child j
+  // given i at v, stored per child.
+  std::vector<std::vector<double>> dp(n_virt, std::vector<double>(n_sub, 0.0));
+  // choice[j][v]: host for child j when its parent sits on v.
+  std::vector<std::vector<net::NodeId>> choice(
+      n_virt, std::vector<net::NodeId>(n_sub, -1));
+
+  const auto& order = vn.preorder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int i = *it;
+    for (net::NodeId v = 0; v < n_sub; ++v) {
+      const double coeff = net::eta(s, vn, i, v);
+      if (!std::isfinite(coeff)) {
+        dp[i][v] = kInf;
+        continue;
+      }
+      double total = vn.vnode(i).size * coeff * costs.node_cost[v];
+      for (const int j : vn.children(i)) {
+        const double beta_link = vn.vlink(vn.parent_link(j)).size;
+        double best = kInf;
+        net::NodeId best_w = -1;
+        for (net::NodeId w = 0; w < n_sub; ++w) {
+          if (dp[j][w] == kInf) continue;
+          const double d = apsp.dist(v, w);
+          if (d == kInf) continue;
+          const double c = beta_link * d + dp[j][w];
+          if (c < best) {
+            best = c;
+            best_w = w;
+          }
+        }
+        if (best == kInf) {
+          total = kInf;
+          break;
+        }
+        // Record the child's best host for every possible parent location;
+        // only the final root-down pass commits to one.
+        choice[j][v] = best_w;
+        total += best;
+      }
+      dp[i][v] = total;
+    }
+  }
+
+  if (dp[0][ingress] == kInf) return std::nullopt;
+
+  // Reconstruct top-down from θ at the ingress.
+  net::Embedding e;
+  e.node_map.assign(n_virt, -1);
+  e.link_paths.assign(vn.num_links(), {});
+  e.node_map[0] = ingress;
+  for (const int i : order) {
+    if (i == 0) continue;
+    const int p = vn.parent(i);
+    const net::NodeId pv = e.node_map[p];
+    OLIVE_ASSERT(pv >= 0);
+    const net::NodeId w = choice[i][pv];
+    OLIVE_ASSERT(w >= 0);
+    e.node_map[i] = w;
+    if (w != pv) e.link_paths[vn.parent_link(i)] = apsp.path(pv, w);
+  }
+  return e;
+}
+
+std::optional<net::Embedding> capacitated_min_cost_tree_embedding(
+    const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
+    net::NodeId ingress, double demand, const LoadTracker& load) {
+  OLIVE_REQUIRE(demand > 0, "demand must be positive");
+  const int n_sub = s.num_nodes();
+  const int n_virt = vn.num_nodes();
+
+  // Per-virtual-link shortest paths on links that individually fit that
+  // link's load.  Links sharing a beta value share the same filter, so the
+  // all-pairs computations are deduplicated by beta.
+  const auto plain = EffectiveCosts::plain(s);
+  std::vector<const net::AllPairsShortestPaths*> apsp_of_link(vn.num_links());
+  std::vector<std::pair<double, std::unique_ptr<net::AllPairsShortestPaths>>>
+      by_beta;
+  for (int l = 0; l < vn.num_links(); ++l) {
+    const double beta = vn.vlink(l).size;
+    const net::AllPairsShortestPaths* found = nullptr;
+    for (const auto& [b, ap] : by_beta)
+      if (b == beta) found = ap.get();
+    if (!found) {
+      // Saturated links get +inf weight: Dijkstra never relaxes over them.
+      std::vector<double> w = plain.link_weight;
+      for (net::LinkId sl = 0; sl < s.num_links(); ++sl)
+        if (load.residual(s.link_element(sl)) < beta * demand - 1e-9)
+          w[sl] = kInf;
+      by_beta.emplace_back(
+          beta, std::make_unique<net::AllPairsShortestPaths>(s, w));
+      found = by_beta.back().second.get();
+    }
+    apsp_of_link[l] = found;
+  }
+
+  std::vector<std::vector<double>> dp(n_virt, std::vector<double>(n_sub, 0.0));
+  std::vector<std::vector<net::NodeId>> choice(
+      n_virt, std::vector<net::NodeId>(n_sub, -1));
+  const auto& order = vn.preorder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int i = *it;
+    for (net::NodeId v = 0; v < n_sub; ++v) {
+      const double coeff = net::eta(s, vn, i, v);
+      const double need = vn.vnode(i).size * demand;
+      if (!std::isfinite(coeff) ||
+          (i != 0 && load.residual(s.node_element(v)) < need - 1e-9)) {
+        dp[i][v] = kInf;
+        continue;
+      }
+      double total = vn.vnode(i).size * coeff * plain.node_cost[v];
+      for (const int j : vn.children(i)) {
+        const int vl = vn.parent_link(j);
+        const double beta_link = vn.vlink(vl).size;
+        double best = kInf;
+        net::NodeId best_w = -1;
+        for (net::NodeId w = 0; w < n_sub; ++w) {
+          if (dp[j][w] == kInf) continue;
+          const double d = apsp_of_link[vl]->dist(v, w);
+          if (d == kInf) continue;
+          const double c = beta_link * d + dp[j][w];
+          if (c < best) {
+            best = c;
+            best_w = w;
+          }
+        }
+        if (best == kInf) {
+          total = kInf;
+          break;
+        }
+        choice[j][v] = best_w;
+        total += best;
+      }
+      dp[i][v] = total;
+    }
+  }
+  if (dp[0][ingress] == kInf) return std::nullopt;
+
+  net::Embedding e;
+  e.node_map.assign(n_virt, -1);
+  e.link_paths.assign(vn.num_links(), {});
+  e.node_map[0] = ingress;
+  for (const int i : order) {
+    if (i == 0) continue;
+    const net::NodeId pv = e.node_map[vn.parent(i)];
+    const net::NodeId w = choice[i][pv];
+    OLIVE_ASSERT(w >= 0);
+    e.node_map[i] = w;
+    if (w != pv)
+      e.link_paths[vn.parent_link(i)] = apsp_of_link[vn.parent_link(i)]->path(pv, w);
+  }
+  return e;
+}
+
+std::optional<net::Embedding> greedy_collocated_embedding(
+    const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
+    net::NodeId ingress, double demand, const LoadTracker& load) {
+  OLIVE_REQUIRE(demand > 0, "demand must be positive");
+  // All VNFs share one host: total node usage and the set of virtual links
+  // that ride the ingress->host path (exactly those adjacent to θ).
+  double node_size = 0;
+  for (int i = 1; i < vn.num_nodes(); ++i) node_size += vn.vnode(i).size;
+  double path_size = 0;
+  for (const int j : vn.children(0))
+    path_size += vn.vlink(vn.parent_link(j)).size;
+
+  // A GPU/non-GPU VNF mix cannot collocate on any node.
+  const auto host_allowed = [&](net::NodeId v) {
+    for (int i = 1; i < vn.num_nodes(); ++i)
+      if (!net::placement_allowed(s, vn, i, v)) return false;
+    return true;
+  };
+
+  // One Dijkstra from the ingress over links with enough residual capacity
+  // for the θ-adjacent virtual links.
+  const auto tree = net::dijkstra(
+      s, ingress, net::link_cost_weights(s), [&](net::LinkId l) {
+        return load.residual(s.link_element(l)) >= path_size * demand - 1e-9;
+      });
+
+  double best_cost = kInf;
+  net::NodeId best = -1;
+  for (net::NodeId v = 0; v < s.num_nodes(); ++v) {
+    if (!tree.reachable(v)) continue;
+    if (!host_allowed(v)) continue;
+    if (load.residual(s.node_element(v)) < node_size * demand - 1e-9) continue;
+    const double cost =
+        node_size * s.node(v).cost + path_size * tree.dist[v];
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = v;
+    }
+  }
+  if (best < 0) return std::nullopt;
+
+  net::Embedding e;
+  e.node_map.assign(vn.num_nodes(), best);
+  e.node_map[0] = ingress;
+  e.link_paths.assign(vn.num_links(), {});
+  if (best != ingress) {
+    const auto path = tree.path_to(best);
+    for (const int j : vn.children(0)) e.link_paths[vn.parent_link(j)] = path;
+  }
+  return e;
+}
+
+}  // namespace olive::core

@@ -1,0 +1,64 @@
+// Embedding search primitives.
+//
+// 1. min_cost_tree_embedding — exact min-cost embedding of a tree virtual
+//    network with the root θ pinned to the ingress, under arbitrary
+//    per-element effective costs and ignoring capacities.  Computed by
+//    dynamic programming over the tree (children before parents):
+//        C(i, v) = β_i·η(i,v)·nodeCost(v)
+//                  + Σ_{j child of i} min_w [ β_(ij)·dist(v, w) + C(j, w) ]
+//    where dist() is an all-pairs shortest-path metric on the effective
+//    per-CU link costs.  This is the pricing oracle of the PLAN-VNE column
+//    generation and the candidate generator for the plan's columns.
+//
+// 2. greedy_collocated_embedding — GREEDYEMBED of §III-C: all VNFs of the
+//    request collocate on one substrate node; the virtual links adjacent to
+//    θ ride a single substrate path from the ingress; the least-cost
+//    feasible host is found with one capacity-filtered Dijkstra.
+#pragma once
+
+#include <optional>
+
+#include "core/load.hpp"
+#include "net/embedding.hpp"
+#include "net/paths.hpp"
+#include "net/vnet.hpp"
+
+namespace olive::core {
+
+/// Effective per-CU element costs used by the DP (duals-adjusted during
+/// column generation, plain element costs otherwise).
+struct EffectiveCosts {
+  std::vector<double> node_cost;    ///< per substrate node
+  std::vector<double> link_weight;  ///< per substrate link
+
+  static EffectiveCosts plain(const net::SubstrateNetwork& s);
+};
+
+/// Exact min-cost tree embedding (capacities ignored; η = inf placements
+/// excluded).  Returns nullopt if some VNF has no allowed placement.
+/// `apsp` must be built on `costs.link_weight`.
+std::optional<net::Embedding> min_cost_tree_embedding(
+    const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
+    net::NodeId ingress, const EffectiveCosts& costs,
+    const net::AllPairsShortestPaths& apsp);
+
+/// GREEDYEMBED (§III-C): least-cost collocated embedding that fits the
+/// residual capacities in `load` for the given demand.  Returns nullopt when
+/// no feasible collocated embedding exists (including GPU/non-GPU VNF mixes,
+/// which cannot collocate — the reason QUICKG skips the Fig. 10 scenario).
+std::optional<net::Embedding> greedy_collocated_embedding(
+    const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
+    net::NodeId ingress, double demand, const LoadTracker& load);
+
+/// Capacity-filtered min-cost tree embedding: like min_cost_tree_embedding
+/// but every placement/link must individually fit `demand` under the
+/// residuals in `load` (a *necessary* condition for any feasible embedding,
+/// so the returned optimum lower-bounds all feasible embeddings).  If the
+/// result also passes the joint load check, it is exactly the optimal
+/// capacitated embedding — FULLG's fast path; it falls back to the ILP only
+/// when several virtual elements collide on one substrate element.
+std::optional<net::Embedding> capacitated_min_cost_tree_embedding(
+    const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
+    net::NodeId ingress, double demand, const LoadTracker& load);
+
+}  // namespace olive::core

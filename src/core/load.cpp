@@ -1,0 +1,52 @@
+#include "core/load.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace olive::core {
+
+namespace {
+// Feasibility slack: forgives accumulated floating-point drift but is far
+// below any meaningful demand (demands are O(1)..O(100) CU).
+constexpr double kFeasTol = 1e-6;
+}  // namespace
+
+LoadTracker::LoadTracker(const net::SubstrateNetwork& s) : substrate_(&s) {
+  reset();
+}
+
+void LoadTracker::reset() {
+  residual_.resize(substrate_->element_count());
+  for (int e = 0; e < substrate_->element_count(); ++e)
+    residual_[e] = substrate_->element_capacity(e);
+}
+
+bool LoadTracker::fits(const Usage& usage, double demand) const noexcept {
+  for (const auto& [elem, amount] : usage)
+    if (residual_[elem] < amount * demand - kFeasTol) return false;
+  return true;
+}
+
+void LoadTracker::apply(const Usage& usage, double demand) {
+  for (const auto& [elem, amount] : usage) {
+    residual_[elem] -= amount * demand;
+    OLIVE_ASSERT(residual_[elem] >= -1e-3);  // callers must check fits() first
+  }
+}
+
+void LoadTracker::release(const Usage& usage, double demand) {
+  for (const auto& [elem, amount] : usage) {
+    residual_[elem] += amount * demand;
+    OLIVE_ASSERT(residual_[elem] <=
+                 substrate_->element_capacity(elem) + 1e-3);
+  }
+}
+
+double LoadTracker::min_residual() const noexcept {
+  return residual_.empty()
+             ? 0.0
+             : *std::min_element(residual_.begin(), residual_.end());
+}
+
+}  // namespace olive::core

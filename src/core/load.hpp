@@ -1,0 +1,47 @@
+// Residual-capacity tracking over substrate elements (Eq. 16).
+//
+// A LoadTracker holds the residual capacity Res(S, t, x) of every substrate
+// element under the current set of active allocations.  Allocations are
+// expressed as per-unit-demand usage vectors (see net::unit_usage) scaled by
+// the request demand.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "net/substrate.hpp"
+
+namespace olive::core {
+
+/// Per-unit-demand resource usage, aggregated per flat element index.
+using Usage = std::vector<std::pair<int, double>>;
+
+class LoadTracker {
+ public:
+  explicit LoadTracker(const net::SubstrateNetwork& s);
+
+  /// True if applying `usage` scaled by `demand` keeps all residuals >= 0
+  /// (within a small tolerance, Eq. 18).
+  bool fits(const Usage& usage, double demand) const noexcept;
+
+  /// Subtracts usage*demand from the residuals.
+  void apply(const Usage& usage, double demand);
+
+  /// Adds usage*demand back (departure / preemption).
+  void release(const Usage& usage, double demand);
+
+  double residual(int element) const { return residual_.at(element); }
+  const std::vector<double>& residuals() const noexcept { return residual_; }
+
+  /// Resets residuals to the full substrate capacities.
+  void reset();
+
+  /// Smallest residual across all elements (diagnostics / invariants).
+  double min_residual() const noexcept;
+
+ private:
+  const net::SubstrateNetwork* substrate_;
+  std::vector<double> residual_;
+};
+
+}  // namespace olive::core

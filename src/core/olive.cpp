@@ -1,0 +1,228 @@
+#include "core/olive.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/embedder.hpp"
+#include "net/embedding.hpp"
+#include "util/error.hpp"
+
+namespace olive::core {
+
+const char* to_string(OutcomeKind k) noexcept {
+  switch (k) {
+    case OutcomeKind::Planned: return "planned";
+    case OutcomeKind::Borrowed: return "borrowed";
+    case OutcomeKind::Greedy: return "greedy";
+    case OutcomeKind::Rejected: return "rejected";
+  }
+  return "?";
+}
+
+OliveEmbedder::OliveEmbedder(const net::SubstrateNetwork& s,
+                             const std::vector<net::Application>& apps,
+                             Plan plan, std::string name, OliveOptions options)
+    : substrate_(s),
+      apps_(apps),
+      plan_(std::move(plan)),
+      name_(std::move(name)),
+      options_(options),
+      load_(s) {
+  reset();
+}
+
+void OliveEmbedder::install_plan(Plan plan) {
+  plan_ = std::move(plan);
+  plan_used_.assign(plan_.num_classes(), {});
+  for (int c = 0; c < plan_.num_classes(); ++c)
+    plan_used_[c].assign(plan_.cls(c).columns.size(), 0.0);
+  // Active planned allocations lose their guaranteed status under the new
+  // plan: they keep resources but become preemptible borrowers.
+  for (auto& [id, a] : active_) {
+    (void)id;
+    a.planned = false;
+    a.cls = a.column = -1;
+  }
+}
+
+void OliveEmbedder::reset() {
+  load_.reset();
+  active_.clear();
+  admission_counter_ = 0;
+  plan_used_.assign(plan_.num_classes(), {});
+  for (int c = 0; c < plan_.num_classes(); ++c)
+    plan_used_[c].assign(plan_.cls(c).columns.size(), 0.0);
+}
+
+double OliveEmbedder::plan_residual(int cls, int column) const {
+  return plan_.cls(cls).columns.at(column).planned_demand -
+         plan_used_.at(cls).at(column);
+}
+
+EmbedOutcome OliveEmbedder::allocate(const workload::Request& r,
+                                     const net::Embedding& e, OutcomeKind kind,
+                                     int cls, int column,
+                                     std::vector<int> preempted) {
+  EmbedOutcome out;
+  out.kind = kind;
+  out.usage = net::unit_usage(substrate_, apps_[r.app].topology, e);
+  out.unit_cost = net::unit_cost(substrate_, apps_[r.app].topology, e);
+  out.preempted_ids = std::move(preempted);
+  OLIVE_ASSERT(load_.fits(out.usage, r.demand));
+  load_.apply(out.usage, r.demand);
+
+  Active a;
+  a.usage = out.usage;
+  a.demand = r.demand;
+  a.planned = (kind == OutcomeKind::Planned);
+  a.cls = cls;
+  a.column = column;
+  a.order = admission_counter_++;
+  if (a.planned) plan_used_[cls][column] += r.demand;
+  const bool inserted = active_.emplace(r.id, std::move(a)).second;
+  OLIVE_ASSERT(inserted);
+  return out;
+}
+
+std::optional<std::vector<int>> OliveEmbedder::preempt(const Usage& usage,
+                                                       double demand) {
+  // Deficiency per element that the new allocation would overdraw.
+  std::vector<std::pair<int, double>> deficit;
+  for (const auto& [elem, amount] : usage) {
+    const double need = amount * demand - load_.residual(elem);
+    if (need > 1e-9) deficit.emplace_back(elem, need);
+  }
+  if (deficit.empty()) return std::vector<int>{};
+
+  // Candidate victims: non-planned active allocations that touch a
+  // deficient element, smallest demand first (the paper does not fix a
+  // victim order; preferring small victims minimizes the service lost per
+  // preemption), ties broken newest-first.
+  const auto touches_deficit = [&](const Active& a) {
+    for (const auto& [elem, need] : deficit) {
+      if (need <= 0) continue;
+      for (const auto& [ue, amt] : a.usage) {
+        (void)amt;
+        if (ue == elem) return true;
+      }
+    }
+    return false;
+  };
+  std::vector<std::pair<int, const Active*>> candidates;
+  for (const auto& [id, a] : active_)
+    if (!a.planned && touches_deficit(a)) candidates.emplace_back(id, &a);
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& x, const auto& y) {
+              if (x.second->demand != y.second->demand)
+                return x.second->demand < y.second->demand;
+              return x.second->order > y.second->order;
+            });
+
+  std::vector<int> victims;
+  double victim_demand = 0;
+  for (const auto& [id, a] : candidates) {
+    bool helps = false;
+    for (auto& [elem, need] : deficit) {
+      if (need <= 1e-9) continue;
+      for (const auto& [ue, amt] : a->usage) {
+        if (ue == elem) {
+          helps = true;
+          break;
+        }
+      }
+      if (helps) break;
+    }
+    if (!helps) continue;
+    // Churn guard: preempting more demand than the planned request serves
+    // would shrink net service — in that case leave the borrowers alone and
+    // let the request take the greedy/reject path instead.  (The paper
+    // fixes neither victim order nor this trade-off; see DESIGN.md.)
+    victim_demand += a->demand;
+    if (victim_demand > demand * (1 + 1e-9)) return std::nullopt;
+    victims.push_back(id);
+    for (auto& [elem, need] : deficit) {
+      for (const auto& [ue, amt] : a->usage)
+        if (ue == elem) need -= amt * a->demand;
+    }
+    const bool covered = std::all_of(
+        deficit.begin(), deficit.end(),
+        [](const auto& d) { return d.second <= 1e-9; });
+    if (covered) {
+      // Commit: release the victims' resources and drop them.
+      for (const int vid : victims) {
+        const Active& victim = active_.at(vid);
+        load_.release(victim.usage, victim.demand);
+        active_.erase(vid);
+      }
+      return victims;
+    }
+  }
+  return std::nullopt;  // even full preemption would not make room
+}
+
+EmbedOutcome OliveEmbedder::embed(const workload::Request& r) {
+  OLIVE_REQUIRE(r.app >= 0 && r.app < static_cast<int>(apps_.size()),
+                "request app out of range");
+  OLIVE_REQUIRE(!active_.contains(r.id), "duplicate request id");
+
+  const int cls = plan_.class_index(r.app, r.ingress);
+
+  if (cls >= 0) {
+    const PlanClass& pc = plan_.cls(cls);
+    // --- PLANEMBED, full fit (Alg. 2 line 25): plan residual covers d(r).
+    // First pass: a column that fits the substrate as-is; preemption (lines
+    // 8-9) is a last resort, only once no column fits without it —
+    // otherwise borrowed allocations get churned needlessly.
+    for (std::size_t k = 0; k < pc.columns.size(); ++k) {
+      if (plan_residual(cls, static_cast<int>(k)) < r.demand - 1e-9) continue;
+      const PlanColumn& col = pc.columns[k];
+      if (load_.fits(col.usage, r.demand)) {
+        return allocate(r, col.embedding, OutcomeKind::Planned, cls,
+                        static_cast<int>(k), {});
+      }
+    }
+    if (options_.enable_preempt) {
+      // Guaranteed share: free "borrowed" capacity (lines 8-9).
+      for (std::size_t k = 0; k < pc.columns.size(); ++k) {
+        if (plan_residual(cls, static_cast<int>(k)) < r.demand - 1e-9) continue;
+        const PlanColumn& col = pc.columns[k];
+        if (auto preempted = preempt(col.usage, r.demand)) {
+          return allocate(r, col.embedding, OutcomeKind::Planned, cls,
+                          static_cast<int>(k), std::move(*preempted));
+        }
+      }
+    }
+    // --- PLANEMBED, partial fit (line 27): borrow along a plan column.
+    if (options_.enable_borrow) {
+      for (std::size_t k = 0; k < pc.columns.size(); ++k) {
+        const PlanColumn& col = pc.columns[k];
+        if (plan_residual(cls, static_cast<int>(k)) <= 1e-9) continue;
+        if (load_.fits(col.usage, r.demand)) {
+          return allocate(r, col.embedding, OutcomeKind::Borrowed, cls,
+                          static_cast<int>(k), {});
+        }
+      }
+    }
+  }
+
+  // --- GREEDYEMBED fallback (line 11).
+  if (options_.enable_greedy) {
+    if (auto emb = greedy_collocated_embedding(
+            substrate_, apps_[r.app].topology, r.ingress, r.demand, load_)) {
+      return allocate(r, *emb, OutcomeKind::Greedy, -1, -1, {});
+    }
+  }
+
+  return EmbedOutcome{};  // reject (line 15)
+}
+
+void OliveEmbedder::depart(const workload::Request& r) {
+  const auto it = active_.find(r.id);
+  if (it == active_.end()) return;  // rejected or preempted earlier
+  const Active& a = it->second;
+  load_.release(a.usage, a.demand);
+  if (a.planned) plan_used_[a.cls][a.column] -= a.demand;
+  active_.erase(it);
+}
+
+}  // namespace olive::core

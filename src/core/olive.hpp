@@ -1,0 +1,91 @@
+// OLIVE — the plan-based online embedder (paper Algorithm 2).
+//
+// Decision sequence for each arriving request r (§III-C):
+//   1. PLANEMBED full fit: a plan column of r's class with enough *plan*
+//      residual (Eq. 17, line 25).  If the substrate lacks room because
+//      other requests "borrowed" capacity, PREEMPT non-planned allocations
+//      to free it (lines 8–9) — planned demand is guaranteed.
+//   2. PLANEMBED partial fit: a plan column with any positive residual whose
+//      embedding fits the substrate (line 27) — the request "borrows" unused
+//      planned capacity and is itself preemptible.
+//   3. GREEDYEMBED: least-cost collocated ad-hoc embedding (line 11).
+//   4. Reject.
+//
+// QUICKG is OLIVE with the empty plan (steps 1–2 vanish), exactly as the
+// paper defines it.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "core/algorithm.hpp"
+#include "core/plan.hpp"
+#include "net/vnet.hpp"
+
+namespace olive::core {
+
+/// Mechanism toggles, used by the ablation study (bench/ablation_mechanisms)
+/// to isolate the contribution of each compensation mechanism of §III-C.
+struct OliveOptions {
+  bool enable_borrow = true;   ///< partial plan fit (Alg. 2 line 27)
+  bool enable_preempt = true;  ///< preempt borrowers for planned demand
+  bool enable_greedy = true;   ///< GREEDYEMBED fallback (line 11)
+};
+
+class OliveEmbedder final : public OnlineEmbedder {
+ public:
+  /// `plan` may be Plan::empty() (that is QUICKG).
+  OliveEmbedder(const net::SubstrateNetwork& s,
+                const std::vector<net::Application>& apps, Plan plan,
+                std::string name = "OLIVE", OliveOptions options = {});
+
+  /// Replaces the plan mid-run (the paper's future-work hook for
+  /// time-dependent expected demand: re-plan at window boundaries).
+  /// Currently-active planned allocations are re-classified as borrowed —
+  /// they keep their resources but no longer hold guaranteed shares of the
+  /// new plan, and become preemptible like any other non-planned
+  /// allocation.
+  void install_plan(Plan plan);
+
+  std::string name() const override { return name_; }
+  void reset() override;
+  EmbedOutcome embed(const workload::Request& r) override;
+  void depart(const workload::Request& r) override;
+  const LoadTracker& load() const override { return load_; }
+
+  const Plan& plan() const noexcept { return plan_; }
+
+  /// Residual planned demand of a plan column (Eq. 17), for tests.
+  double plan_residual(int cls, int column) const;
+
+ private:
+  struct Active {
+    Usage usage;
+    double demand = 0;
+    bool planned = false;
+    int cls = -1, column = -1;  // plan bookkeeping for planned allocations
+    int order = 0;              // admission order, newest preempted first
+  };
+
+  EmbedOutcome allocate(const workload::Request& r, const net::Embedding& e,
+                        OutcomeKind kind, int cls, int column,
+                        std::vector<int> preempted);
+
+  /// Frees non-planned allocations overlapping the deficient elements until
+  /// `usage`*demand fits, newest victims first.  Returns the preempted ids,
+  /// or nullopt (and changes nothing) if even preempting every non-planned
+  /// allocation would not make room.
+  std::optional<std::vector<int>> preempt(const Usage& usage, double demand);
+
+  const net::SubstrateNetwork& substrate_;
+  const std::vector<net::Application>& apps_;
+  Plan plan_;
+  std::string name_;
+  OliveOptions options_;
+  LoadTracker load_;
+  std::vector<std::vector<double>> plan_used_;  // [class][column] demand
+  std::unordered_map<int, Active> active_;
+  int admission_counter_ = 0;
+};
+
+}  // namespace olive::core

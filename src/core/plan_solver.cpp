@@ -1,0 +1,263 @@
+#include "core/plan_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/embedder.hpp"
+#include "lp/model.hpp"
+#include "net/paths.hpp"
+#include "util/error.hpp"
+
+namespace olive::core {
+
+namespace {
+
+/// Stable fingerprint of an embedding, to avoid adding duplicate columns.
+std::vector<int> embedding_fingerprint(const net::Embedding& e) {
+  std::vector<int> fp = e.node_map;
+  for (const auto& path : e.link_paths) {
+    fp.push_back(-1);
+    for (const int l : path) fp.push_back(l);
+  }
+  return fp;
+}
+
+}  // namespace
+
+double default_psi(const net::SubstrateNetwork& s,
+                   const net::VirtualNetwork& app) {
+  double max_node_cost = 0, max_link_cost = 0;
+  for (net::NodeId v = 0; v < s.num_nodes(); ++v)
+    max_node_cost = std::max(max_node_cost, s.node(v).cost);
+  for (net::LinkId l = 0; l < s.num_links(); ++l)
+    max_link_cost = std::max(max_link_cost, s.link(l).cost);
+  return app.total_node_size() * max_node_cost +
+         app.total_link_size() * max_link_cost;
+}
+
+Plan solve_plan_vne(const net::SubstrateNetwork& s,
+                    const std::vector<net::Application>& apps,
+                    const std::vector<AggregateRequest>& aggregates,
+                    const PlanVneConfig& config, PlanSolveInfo* info,
+                    PlanColumnCache* cache) {
+  OLIVE_REQUIRE(config.quantiles >= 1, "need at least one quantile");
+  for (int e = 0; e < s.element_count(); ++e)
+    OLIVE_REQUIRE(s.element_capacity(e) > 0,
+                  "every substrate element needs positive capacity");
+  if (aggregates.empty()) return Plan::empty();
+
+  const int n_classes = static_cast<int>(aggregates.size());
+  const int n_elems = s.element_count();
+  const int P = config.quantiles;
+
+  // Per-class ψ (fixed per application as in the paper).
+  std::vector<double> psi(n_classes);
+  for (int c = 0; c < n_classes; ++c) {
+    const auto& agg = aggregates[c];
+    OLIVE_REQUIRE(agg.app >= 0 && agg.app < static_cast<int>(apps.size()),
+                  "aggregate app out of range");
+    OLIVE_REQUIRE(agg.demand > 0, "aggregate demand must be positive");
+    psi[c] = config.psi >= 0 ? config.psi
+                             : default_psi(s, apps[agg.app].topology);
+  }
+
+  // Initial columns: the min-cost embedding under plain element costs.
+  const EffectiveCosts plain = EffectiveCosts::plain(s);
+  const net::AllPairsShortestPaths plain_apsp(s, plain.link_weight);
+  struct Candidate {
+    net::Embedding embedding;
+    Usage usage;
+    double unit_cost;
+    int model_col = -1;
+  };
+  std::vector<std::vector<Candidate>> cand(n_classes);
+  std::vector<std::set<std::vector<int>>> seen(n_classes);
+  double max_obj_coeff = 1.0;
+  for (int c = 0; c < n_classes; ++c) {
+    const auto& agg = aggregates[c];
+    auto emb = min_cost_tree_embedding(s, apps[agg.app].topology, agg.ingress,
+                                       plain, plain_apsp);
+    if (!emb) continue;  // no feasible placement anywhere: rejection-only
+    Candidate cd;
+    cd.usage = net::unit_usage(s, apps[agg.app].topology, *emb);
+    cd.unit_cost = net::unit_cost(s, apps[agg.app].topology, *emb);
+    cd.embedding = std::move(*emb);
+    seen[c].insert(embedding_fingerprint(cd.embedding));
+    max_obj_coeff = std::max(max_obj_coeff, agg.demand * cd.unit_cost);
+    max_obj_coeff = std::max(max_obj_coeff, agg.demand * psi[c] * P);
+    cand[c].push_back(std::move(cd));
+    // Seed the pool with previously generated columns for this class.
+    if (cache) {
+      for (const auto& cc : cache->bucket(agg.app, agg.ingress)) {
+        auto fp = embedding_fingerprint(cc.embedding);
+        if (!seen[c].insert(std::move(fp)).second) continue;
+        Candidate warm;
+        warm.embedding = cc.embedding;
+        warm.usage = cc.usage;
+        warm.unit_cost = cc.unit_cost;
+        max_obj_coeff = std::max(max_obj_coeff, agg.demand * warm.unit_cost);
+        cand[c].push_back(std::move(warm));
+      }
+    }
+  }
+  // Objective scaling keeps simplex tolerances meaningful (coefficients span
+  // ~1e8 in natural units for the large topologies).
+  const double obj_scale = 1.0 / max_obj_coeff;
+
+  // Master LP: capacity rows (scaled to <= 1), then one convexity row per
+  // class.  The quantile variables are substituted w_{c,p} = 1/P − y_{c,p}
+  // ("accepted share of quantile p"), which turns Eq. 13 into
+  //   Σ_k f_{c,k} − Σ_p w_{c,p} = 0.
+  // With rhs 0 the initial slack basis is primal feasible, so the simplex
+  // never needs phase-1 artificials — this matters for SLOTOFF, which
+  // re-solves this master every time slot.  The substitution adds the
+  // constant Σ_c ψ_c·d_c·(P+1)/2 to the objective, restored after solving.
+  lp::Model master;
+  for (int e = 0; e < n_elems; ++e) master.add_row(lp::Sense::LE, 1.0);
+  std::vector<int> convexity_row(n_classes);
+  for (int c = 0; c < n_classes; ++c)
+    convexity_row[c] = master.add_row(lp::Sense::EQ, 0.0);
+
+  double objective_constant = 0;  // scaled units
+  std::vector<std::vector<int>> quantile_col(n_classes, std::vector<int>(P));
+  for (int c = 0; c < n_classes; ++c) {
+    objective_constant +=
+        obj_scale * psi[c] * aggregates[c].demand * (P + 1) / 2.0;
+    for (int p = 1; p <= P; ++p) {
+      const double cost = -obj_scale * psi[c] * aggregates[c].demand * p;
+      const int col = master.add_col(0.0, 1.0 / P, cost);
+      master.add_entry(convexity_row[c], col, -1.0);
+      quantile_col[c][p - 1] = col;
+    }
+  }
+
+  auto column_entries = [&](int c, const Usage& usage) {
+    lp::SparseColumn entries;
+    entries.reserve(usage.size() + 1);
+    for (const auto& [elem, amount] : usage)
+      entries.emplace_back(elem, aggregates[c].demand * amount /
+                                     s.element_capacity(elem));
+    entries.emplace_back(convexity_row[c], 1.0);
+    return entries;
+  };
+
+  for (int c = 0; c < n_classes; ++c) {
+    for (auto& cd : cand[c]) {
+      cd.model_col = master.add_col_with_entries(
+          0.0, 1.0, obj_scale * aggregates[c].demand * cd.unit_cost,
+          column_entries(c, cd.usage));
+    }
+  }
+
+  lp::Simplex solver(master, config.lp);
+  lp::SolveResult res = solver.solve();
+  OLIVE_ASSERT(res.status == lp::Status::Optimal);  // all-reject is feasible
+
+  PlanSolveInfo local_info;
+  int round = 0;
+  for (; round < config.max_rounds; ++round) {
+    // Dual-adjusted effective element costs (π <= 0 on capacity rows, so
+    // effective costs only grow; clamp tiny positive dual noise).
+    EffectiveCosts eff;
+    eff.node_cost.resize(s.num_nodes());
+    eff.link_weight.resize(s.num_links());
+    for (net::NodeId v = 0; v < s.num_nodes(); ++v) {
+      const int e = s.node_element(v);
+      eff.node_cost[v] = std::max(
+          0.0, obj_scale * s.node(v).cost - res.duals[e] / s.element_capacity(e));
+    }
+    for (net::LinkId l = 0; l < s.num_links(); ++l) {
+      const int e = s.link_element(l);
+      eff.link_weight[l] = std::max(
+          0.0, obj_scale * s.link(l).cost - res.duals[e] / s.element_capacity(e));
+    }
+    const net::AllPairsShortestPaths apsp(s, eff.link_weight);
+
+    int added = 0;
+    for (int c = 0; c < n_classes; ++c) {
+      if (cand[c].empty()) continue;  // no feasible placement at all
+      const auto& agg = aggregates[c];
+      auto emb = min_cost_tree_embedding(s, apps[agg.app].topology,
+                                         agg.ingress, eff, apsp);
+      if (!emb) continue;
+      // Reduced cost in scaled units: d_c·unitEffCost − μ_c.
+      const Usage usage = net::unit_usage(s, apps[agg.app].topology, *emb);
+      double unit_eff = 0;
+      for (const auto& [elem, amount] : usage) {
+        const double element_eff =
+            s.element_is_node(elem)
+                ? eff.node_cost[elem]
+                : eff.link_weight[elem - s.num_nodes()];
+        unit_eff += amount * element_eff;
+      }
+      const double mu = res.duals[convexity_row[c]];
+      const double rc = agg.demand * unit_eff - mu;
+      if (rc >= -config.reduced_cost_tol) continue;
+      auto fp = embedding_fingerprint(*emb);
+      if (!seen[c].insert(std::move(fp)).second) continue;  // duplicate
+
+      Candidate cd;
+      cd.usage = usage;
+      cd.unit_cost = net::unit_cost(s, apps[agg.app].topology, *emb);
+      cd.embedding = std::move(*emb);
+      cd.model_col = solver.add_column(
+          0.0, 1.0, obj_scale * agg.demand * cd.unit_cost,
+          column_entries(c, cd.usage));
+      cand[c].push_back(std::move(cd));
+      ++added;
+    }
+    if (added == 0) break;
+    local_info.columns_generated += added;
+    res = solver.resolve();
+    OLIVE_ASSERT(res.status == lp::Status::Optimal);
+  }
+
+  // Feed new columns back into the cache for future solves.
+  if (cache) {
+    for (int c = 0; c < n_classes; ++c) {
+      auto& bucket = cache->bucket(aggregates[c].app, aggregates[c].ingress);
+      std::set<std::vector<int>> present;
+      for (const auto& cc : bucket)
+        present.insert(embedding_fingerprint(cc.embedding));
+      for (const auto& cd : cand[c]) {
+        if (bucket.size() >= PlanColumnCache::kMaxPerBucket) break;
+        if (!present.insert(embedding_fingerprint(cd.embedding)).second)
+          continue;
+        bucket.push_back({cd.embedding, cd.usage, cd.unit_cost});
+      }
+    }
+  }
+
+  // Extract the plan.
+  std::vector<PlanClass> classes;
+  classes.reserve(aggregates.size());
+  for (int c = 0; c < n_classes; ++c) {
+    PlanClass pc;
+    pc.aggregate = aggregates[c];
+    pc.rejected_per_quantile.resize(P);
+    for (int p = 0; p < P; ++p)  // undo the substitution: y = 1/P − w
+      pc.rejected_per_quantile[p] =
+          std::max(0.0, 1.0 / P - res.x[quantile_col[c][p]]);
+    for (auto& cd : cand[c]) {
+      const double f = res.x[cd.model_col];
+      if (f <= 1e-9) continue;
+      PlanColumn col;
+      col.embedding = std::move(cd.embedding);
+      col.usage = std::move(cd.usage);
+      col.unit_cost = cd.unit_cost;
+      col.fraction = f;
+      col.planned_demand = f * aggregates[c].demand;
+      pc.columns.push_back(std::move(col));
+    }
+    classes.push_back(std::move(pc));
+  }
+
+  local_info.rounds = round;
+  local_info.status = res.status;
+  local_info.objective = (res.objective + objective_constant) / obj_scale;
+  if (info) *info = local_info;
+  return Plan(std::move(classes), local_info.objective);
+}
+
+}  // namespace olive::core

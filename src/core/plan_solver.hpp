@@ -1,0 +1,92 @@
+// PLAN-VNE solver (paper §III-B, Fig. 4) via Dantzig–Wolfe column
+// generation.
+//
+// The arc-flow LP of Fig. 4 decomposes per aggregated request r̃: the only
+// coupling constraints are the element capacities (Eq. 15).  We therefore
+// solve the equivalent configuration LP:
+//
+//   min  Σ_c Σ_k f_{c,k} · d_c · unitCost(E_{c,k})                 (Eq. 7/8)
+//        + Σ_c ψ_c · d_c · Σ_p p · y_{c,p}                          (Eq. 9)
+//   s.t. Σ_k f_{c,k} + Σ_p y_{c,p} = 1            ∀ classes c       (Eq. 13)
+//        Σ_c Σ_k d_c · usage_{c,k}(e) · f_{c,k} ≤ cap(e)   ∀ e      (Eq. 15)
+//        y_{c,p} ∈ [0, 1/P],  f_{c,k} ≥ 0                           (Eq. 12)
+//
+// where each column E_{c,k} is an *integral* embedding of class c's virtual
+// network rooted at its ingress (so Eq. 11 and flow preservation Eq. 14 hold
+// by construction), priced by the exact tree-DP with dual-adjusted element
+// costs.  The configuration LP's optimum is at least as tight as the
+// arc-flow relaxation, and its solution is directly a splittable plan.
+//
+// Rejection quantiles: the y_{c,p} variables carry progressively increasing
+// rejection costs p·ψ, which "water-fills" rejections across classes so no
+// class is starved — the paper's novel starvation-prevention device.
+#pragma once
+
+#include "core/plan.hpp"
+#include "lp/simplex.hpp"
+#include "net/vnet.hpp"
+
+namespace olive::core {
+
+struct PlanVneConfig {
+  int quantiles = 10;  ///< P (Fig. 11 shows 10 suffices)
+  /// Base rejection factor ψ; < 0 selects the paper's conservative default:
+  /// the cost of placing every element of the application on the most
+  /// expensive substrate element (per CU).
+  double psi = -1.0;
+  int max_rounds = 60;          ///< column-generation round limit
+  double reduced_cost_tol = 1e-7;
+  lp::SimplexOptions lp;
+};
+
+struct PlanSolveInfo {
+  int rounds = 0;
+  int columns_generated = 0;
+  lp::Status status = lp::Status::Optimal;
+  double objective = 0;
+};
+
+/// Cross-solve column cache.  Embeddings generated for a class (app,
+/// ingress) stay valid across repeated solves on the same substrate, so the
+/// per-slot SLOTOFF baseline seeds each solve with the previous slots'
+/// columns and converges in very few pricing rounds.
+class PlanColumnCache {
+ public:
+  struct CachedColumn {
+    net::Embedding embedding;
+    Usage usage;
+    double unit_cost = 0;
+  };
+
+  std::vector<CachedColumn>& bucket(int app, net::NodeId ingress) {
+    return buckets_[key(app, ingress)];
+  }
+
+  /// Small cap: the LP rarely uses more than a couple of columns per class,
+  /// and an over-seeded master makes every per-slot solve pay for it.
+  static constexpr std::size_t kMaxPerBucket = 10;
+
+ private:
+  static long long key(int app, net::NodeId ingress) {
+    return static_cast<long long>(app) * (1LL << 32) + ingress;
+  }
+  std::unordered_map<long long, std::vector<CachedColumn>> buckets_;
+};
+
+/// The paper's conservative rejection penalty for application `app`: the
+/// per-demand-unit cost of hosting all its elements on the most expensive
+/// substrate elements.
+double default_psi(const net::SubstrateNetwork& s,
+                   const net::VirtualNetwork& app);
+
+/// Solves PLAN-VNE for the aggregated demand.  Classes whose application has
+/// no feasible placement anywhere get rejection-only plans.  `cache`, if
+/// given, seeds the column pool and receives newly generated columns.
+Plan solve_plan_vne(const net::SubstrateNetwork& s,
+                    const std::vector<net::Application>& apps,
+                    const std::vector<AggregateRequest>& aggregates,
+                    const PlanVneConfig& config = {},
+                    PlanSolveInfo* info = nullptr,
+                    PlanColumnCache* cache = nullptr);
+
+}  // namespace olive::core

@@ -1,0 +1,68 @@
+// Experiment wiring shared by the benchmark harness and the examples.
+//
+// A Scenario bundles everything one repetition of a paper experiment needs:
+// topology, sampled application set, calibrated trace (MMPP or CAIDA-like),
+// history/online split, time aggregation, and the PLAN-VNE plan.  The
+// mismatch knobs reproduce the §IV-B robustness studies: plan built for a
+// different expected utilization (Fig. 13) and spatially shuffled plan
+// input (Fig. 14).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/plan_solver.hpp"
+#include "core/simulator.hpp"
+#include "topo/topologies.hpp"
+#include "workload/appgen.hpp"
+#include "workload/caida.hpp"
+#include "workload/tracegen.hpp"
+
+namespace olive::core {
+
+struct ScenarioConfig {
+  std::string topology = "Iris";  ///< Iris | CittaStudi | 5GEN | 100N150E
+  double utilization = 1.0;       ///< edge utilization (1.0 == 100%)
+  std::uint64_t seed = 1;
+
+  workload::TraceConfig trace;      ///< demand_mean is overwritten by the
+                                    ///< utilization calibration
+  AggregationConfig aggregation;
+  PlanVneConfig plan;
+  SimulatorConfig sim;
+
+  std::vector<workload::AppKind> mix;  ///< empty -> paper default mix
+  bool gpu_variant = false;            ///< Fig. 10 substrate + GPU apps
+
+  bool use_caida = false;              ///< Fig. 15 workload
+  workload::CaidaConfig caida;
+
+  /// Fig. 13: expected utilization the plan is built for (<= 0: same as
+  /// `utilization`).  The online trace always runs at `utilization`.
+  double plan_utilization = -1.0;
+  /// Fig. 14: shuffle each history request's ingress before aggregation.
+  bool shuffle_plan_ingress = false;
+};
+
+/// One fully materialized repetition.
+struct Scenario {
+  ScenarioConfig config;
+  net::SubstrateNetwork substrate;
+  std::vector<net::Application> apps;
+  workload::Trace history;  ///< R_HIST (possibly mismatched, per the knobs)
+  workload::Trace online;   ///< the test period trace
+  std::vector<AggregateRequest> aggregates;
+  Plan plan;
+  PlanSolveInfo plan_info;
+};
+
+/// Builds repetition `rep` of the configured scenario (different rep ->
+/// different applications/trace draws, as in the paper's 30 executions).
+Scenario build_scenario(const ScenarioConfig& config, int rep = 0);
+
+/// Runs one algorithm on a built scenario.  `algorithm` is one of
+/// "OLIVE", "QuickG", "FullG", "SlotOff".
+SimMetrics run_algorithm(const Scenario& scenario, const std::string& algorithm);
+
+}  // namespace olive::core

@@ -1,0 +1,85 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace olive::lp {
+
+int Model::add_col(double lo, double up, double cost) {
+  OLIVE_REQUIRE(lo <= up, "column bounds must satisfy lo <= up");
+  col_lo_.push_back(lo);
+  col_up_.push_back(up);
+  cost_.push_back(cost);
+  cols_.emplace_back();
+  return num_cols() - 1;
+}
+
+int Model::add_row(Sense sense, double rhs) {
+  sense_.push_back(sense);
+  rhs_.push_back(rhs);
+  return num_rows() - 1;
+}
+
+void Model::add_entry(int row, int col, double coeff) {
+  OLIVE_REQUIRE(row >= 0 && row < num_rows(), "row index out of range");
+  OLIVE_REQUIRE(col >= 0 && col < num_cols(), "col index out of range");
+  if (coeff == 0.0) return;
+  auto& column = cols_[col];
+  for (auto& [r, v] : column) {
+    if (r == row) {
+      v += coeff;
+      return;
+    }
+  }
+  column.emplace_back(row, coeff);
+}
+
+int Model::add_col_with_entries(double lo, double up, double cost,
+                                const SparseColumn& entries) {
+  const int c = add_col(lo, up, cost);
+  for (const auto& [row, coeff] : entries) add_entry(row, c, coeff);
+  return c;
+}
+
+void Model::set_col_bounds(int col, double lo, double up) {
+  OLIVE_REQUIRE(lo <= up, "column bounds must satisfy lo <= up");
+  col_lo_.at(col) = lo;
+  col_up_.at(col) = up;
+}
+
+void Model::set_col_cost(int col, double cost) { cost_.at(col) = cost; }
+
+double Model::objective_value(const std::vector<double>& x) const {
+  OLIVE_REQUIRE(static_cast<int>(x.size()) == num_cols(),
+                "point dimension mismatch");
+  double obj = 0;
+  for (int c = 0; c < num_cols(); ++c) obj += cost_[c] * x[c];
+  return obj;
+}
+
+double Model::max_violation(const std::vector<double>& x) const {
+  OLIVE_REQUIRE(static_cast<int>(x.size()) == num_cols(),
+                "point dimension mismatch");
+  std::vector<double> activity(num_rows(), 0.0);
+  for (int c = 0; c < num_cols(); ++c)
+    for (const auto& [r, v] : cols_[c]) activity[r] += v * x[c];
+
+  double worst = 0;
+  for (int c = 0; c < num_cols(); ++c) {
+    worst = std::max(worst, col_lo_[c] - x[c]);
+    worst = std::max(worst, x[c] - col_up_[c]);
+  }
+  for (int r = 0; r < num_rows(); ++r) {
+    const double a = activity[r];
+    switch (sense_[r]) {
+      case Sense::LE: worst = std::max(worst, a - rhs_[r]); break;
+      case Sense::GE: worst = std::max(worst, rhs_[r] - a); break;
+      case Sense::EQ: worst = std::max(worst, std::abs(a - rhs_[r])); break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace olive::lp

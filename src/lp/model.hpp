@@ -1,0 +1,65 @@
+// Sparse linear-program builder.
+//
+// Models are built row/column-wise and handed to lp::Simplex (LP) or
+// lp::solve_mip (branch & bound).  The library uses this to express the
+// PLAN-VNE master problem (column generation) and FULLG's per-request exact
+// embedding ILP — the roles CPLEX plays in the paper.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace olive::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Sense { LE, GE, EQ };
+
+/// A sparse column: list of (row, coefficient) entries.
+using SparseColumn = std::vector<std::pair<int, double>>;
+
+class Model {
+ public:
+  /// Adds a variable with bounds [lo, up] and objective coefficient `cost`
+  /// (minimization).  Returns its column index.
+  int add_col(double lo, double up, double cost);
+
+  /// Adds a constraint `sum_j a_ij x_j  sense  rhs`.  Returns its row index.
+  int add_row(Sense sense, double rhs);
+
+  /// Sets A[row][col] += coeff (duplicate entries accumulate).
+  void add_entry(int row, int col, double coeff);
+
+  /// Convenience: adds a column together with its constraint entries.
+  int add_col_with_entries(double lo, double up, double cost,
+                           const SparseColumn& entries);
+
+  void set_col_bounds(int col, double lo, double up);
+  void set_col_cost(int col, double cost);
+
+  int num_cols() const noexcept { return static_cast<int>(col_lo_.size()); }
+  int num_rows() const noexcept { return static_cast<int>(rhs_.size()); }
+
+  double col_lo(int col) const { return col_lo_.at(col); }
+  double col_up(int col) const { return col_up_.at(col); }
+  double col_cost(int col) const { return cost_.at(col); }
+  Sense row_sense(int row) const { return sense_.at(row); }
+  double row_rhs(int row) const { return rhs_.at(row); }
+  const SparseColumn& col(int c) const { return cols_.at(c); }
+
+  /// Objective value of an arbitrary point (for tests / verification).
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Max constraint violation of a point (for tests / verification).
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<double> col_lo_, col_up_, cost_;
+  std::vector<SparseColumn> cols_;
+  std::vector<Sense> sense_;
+  std::vector<double> rhs_;
+};
+
+}  // namespace olive::lp

@@ -1,0 +1,525 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace olive::lp {
+
+namespace {
+constexpr double kPivotTol = 1e-9;
+constexpr int kDegenerateRunForBland = 40;
+}  // namespace
+
+const char* to_string(Status s) noexcept {
+  switch (s) {
+    case Status::Optimal: return "Optimal";
+    case Status::Infeasible: return "Infeasible";
+    case Status::Unbounded: return "Unbounded";
+    case Status::IterationLimit: return "IterationLimit";
+  }
+  return "?";
+}
+
+Simplex::Simplex(const Model& model, SimplexOptions options)
+    : options_(options) {
+  build_standard_form(model);
+}
+
+void Simplex::build_standard_form(const Model& model) {
+  n_structural_ = model.num_cols();
+  n_rows_ = model.num_rows();
+  cols_.clear();
+  cols_.reserve(static_cast<std::size_t>(n_structural_ + n_rows_));
+  model_index_.clear();
+  artificial_.clear();
+
+  for (int c = 0; c < n_structural_; ++c) {
+    Column col;
+    col.lo = model.col_lo(c);
+    col.up = model.col_up(c);
+    col.cost = model.col_cost(c);
+    OLIVE_REQUIRE(col.lo > -kInf || col.up < kInf,
+                  "free variables are not supported; give one finite bound");
+    for (const auto& [r, v] : model.col(c)) {
+      col.rows.push_back(r);
+      col.vals.push_back(v);
+    }
+    cols_.push_back(std::move(col));
+    model_index_.push_back(c);
+    artificial_.push_back(0);
+  }
+
+  rhs_.resize(n_rows_);
+  slack_col_.resize(n_rows_);
+  for (int r = 0; r < n_rows_; ++r) {
+    rhs_[r] = model.row_rhs(r);
+    Column slack;
+    slack.rows = {r};
+    slack.vals = {1.0};
+    slack.cost = 0.0;
+    switch (model.row_sense(r)) {
+      case Sense::LE: slack.lo = 0.0;   slack.up = kInf; break;
+      case Sense::GE: slack.lo = -kInf; slack.up = 0.0;  break;
+      case Sense::EQ: slack.lo = 0.0;   slack.up = 0.0;  break;
+    }
+    slack_col_[r] = static_cast<int>(cols_.size());
+    cols_.push_back(std::move(slack));
+    model_index_.push_back(-1);
+    artificial_.push_back(0);
+  }
+  has_basis_ = false;
+}
+
+double Simplex::value_of(int col) const {
+  const Column& c = cols_[col];
+  switch (status_[col]) {
+    case VarStatus::Basic: return xb_[basis_pos_[col]];
+    case VarStatus::AtLower:
+    case VarStatus::Fixed: return c.lo;
+    case VarStatus::AtUpper: return c.up;
+  }
+  return 0;
+}
+
+void Simplex::install_slack_basis() {
+  // Drop artificial columns from any previous solve.
+  while (!cols_.empty() && artificial_.back()) {
+    cols_.pop_back();
+    model_index_.pop_back();
+    artificial_.pop_back();
+  }
+
+  const int n = static_cast<int>(cols_.size());
+  status_.assign(n, VarStatus::AtLower);
+  for (int c = 0; c < n; ++c) {
+    const Column& col = cols_[c];
+    if (col.lo == col.up) {
+      status_[c] = VarStatus::Fixed;
+    } else if (col.lo > -kInf) {
+      status_[c] = VarStatus::AtLower;
+    } else {
+      status_[c] = VarStatus::AtUpper;
+    }
+  }
+
+  // Residual each row's slack would have to absorb.
+  std::vector<double> residual = rhs_;
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    if (model_index_[c] < 0) continue;  // only structural columns
+    const double v = value_of(static_cast<int>(c));
+    if (v == 0.0) continue;
+    const Column& col = cols_[c];
+    for (std::size_t k = 0; k < col.rows.size(); ++k)
+      residual[col.rows[k]] -= col.vals[k] * v;
+  }
+
+  basis_.assign(n_rows_, -1);
+  xb_.assign(n_rows_, 0.0);
+  for (int r = 0; r < n_rows_; ++r) {
+    const int slack = slack_col_[r];
+    const Column& s = cols_[slack];
+    if (residual[r] >= s.lo - options_.feas_tol &&
+        residual[r] <= s.up + options_.feas_tol) {
+      basis_[r] = slack;
+      status_[slack] = VarStatus::Basic;
+      xb_[r] = residual[r];
+    } else {
+      // Clamp the slack to its nearest bound and cover the gap with a
+      // non-negative artificial column (phase-1 objective drives it to 0).
+      const double clamped = std::clamp(residual[r], s.lo, s.up);
+      status_[slack] = (s.lo == s.up) ? VarStatus::Fixed
+                       : (clamped == s.lo ? VarStatus::AtLower
+                                          : VarStatus::AtUpper);
+      const double gap = residual[r] - clamped;
+      Column art;
+      art.rows = {r};
+      art.vals = {gap > 0 ? 1.0 : -1.0};
+      art.lo = 0.0;
+      art.up = kInf;
+      art.cost = 0.0;
+      cols_.push_back(std::move(art));
+      model_index_.push_back(-1);
+      artificial_.push_back(1);
+      status_.push_back(VarStatus::Basic);
+      basis_[r] = static_cast<int>(cols_.size()) - 1;
+      xb_[r] = std::abs(gap);
+    }
+  }
+
+  basis_pos_.assign(cols_.size(), -1);
+  for (int r = 0; r < n_rows_; ++r) basis_pos_[basis_[r]] = r;
+
+  binv_.assign(static_cast<std::size_t>(n_rows_) * n_rows_, 0.0);
+  // Basis columns are slacks (+1) or artificials (+-1); the inverse diagonal
+  // entry is the column's own coefficient sign.
+  for (int r = 0; r < n_rows_; ++r)
+    binv_[static_cast<std::size_t>(r) * n_rows_ + r] =
+        artificial_[basis_[r]] ? 1.0 / cols_[basis_[r]].vals[0] : 1.0;
+
+  has_basis_ = true;
+}
+
+void Simplex::compute_basic_values() {
+  std::vector<double> v = rhs_;
+  const int n = static_cast<int>(cols_.size());
+  for (int c = 0; c < n; ++c) {
+    if (status_[c] == VarStatus::Basic) continue;
+    const double val = value_of(c);
+    if (val == 0.0) continue;
+    const Column& col = cols_[c];
+    for (std::size_t k = 0; k < col.rows.size(); ++k)
+      v[col.rows[k]] -= col.vals[k] * val;
+  }
+  for (int i = 0; i < n_rows_; ++i) {
+    double acc = 0;
+    const double* row = &binv_[static_cast<std::size_t>(i) * n_rows_];
+    for (int r = 0; r < n_rows_; ++r) acc += row[r] * v[r];
+    xb_[i] = acc;
+  }
+}
+
+void Simplex::compute_duals(const std::vector<double>& costs,
+                            std::vector<double>& y) const {
+  y.assign(n_rows_, 0.0);
+  for (int k = 0; k < n_rows_; ++k) {
+    const double cb = costs[basis_[k]];
+    if (cb == 0.0) continue;
+    const double* row = &binv_[static_cast<std::size_t>(k) * n_rows_];
+    for (int i = 0; i < n_rows_; ++i) y[i] += cb * row[i];
+  }
+}
+
+void Simplex::ftran(const Column& col, std::vector<double>& out) const {
+  out.assign(n_rows_, 0.0);
+  for (std::size_t k = 0; k < col.rows.size(); ++k) {
+    const int r = col.rows[k];
+    const double v = col.vals[k];
+    for (int i = 0; i < n_rows_; ++i)
+      out[i] += binv_[static_cast<std::size_t>(i) * n_rows_ + r] * v;
+  }
+}
+
+int Simplex::price(const std::vector<double>& y, const std::vector<double>& costs,
+                   bool bland, int* direction) const {
+  const int n = static_cast<int>(cols_.size());
+  int best = -1, best_dir = 0;
+  double best_score = options_.opt_tol;
+  for (int c = 0; c < n; ++c) {
+    const VarStatus st = status_[c];
+    if (st == VarStatus::Basic || st == VarStatus::Fixed) continue;
+    const Column& col = cols_[c];
+    double d = costs[c];
+    for (std::size_t k = 0; k < col.rows.size(); ++k)
+      d -= y[col.rows[k]] * col.vals[k];
+    double score = 0;
+    int dir = 0;
+    if (st == VarStatus::AtLower && d < -options_.opt_tol) {
+      score = -d;
+      dir = +1;
+    } else if (st == VarStatus::AtUpper && d > options_.opt_tol) {
+      score = d;
+      dir = -1;
+    } else {
+      continue;
+    }
+    if (bland) {  // first eligible index
+      *direction = dir;
+      return c;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+      best_dir = dir;
+    }
+  }
+  *direction = best_dir;
+  return best;
+}
+
+double Simplex::phase1_infeasibility() const {
+  double total = 0;
+  for (std::size_t c = 0; c < cols_.size(); ++c)
+    if (artificial_[c] && status_[c] == VarStatus::Basic)
+      total += std::abs(xb_[basis_pos_[c]]);
+  return total;
+}
+
+void Simplex::prepare_phase1_costs(std::vector<double>& costs) const {
+  costs.assign(cols_.size(), 0.0);
+  for (std::size_t c = 0; c < cols_.size(); ++c)
+    if (artificial_[c]) costs[c] = 1.0;
+}
+
+void Simplex::refactorize() {
+  // Rebuild B from the basic columns and invert with Gauss–Jordan + partial
+  // pivoting.  Throws SolverError if the basis is numerically singular.
+  const int m = n_rows_;
+  std::vector<double> b(static_cast<std::size_t>(m) * m, 0.0);
+  for (int k = 0; k < m; ++k) {
+    const Column& col = cols_[basis_[k]];
+    for (std::size_t e = 0; e < col.rows.size(); ++e)
+      b[static_cast<std::size_t>(col.rows[e]) * m + k] = col.vals[e];
+  }
+  std::vector<double> inv(static_cast<std::size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) inv[static_cast<std::size_t>(i) * m + i] = 1.0;
+
+  for (int piv = 0; piv < m; ++piv) {
+    int arg = piv;
+    double best = std::abs(b[static_cast<std::size_t>(piv) * m + piv]);
+    for (int i = piv + 1; i < m; ++i) {
+      const double v = std::abs(b[static_cast<std::size_t>(i) * m + piv]);
+      if (v > best) {
+        best = v;
+        arg = i;
+      }
+    }
+    if (best < 1e-12) throw SolverError("singular basis during refactorization");
+    if (arg != piv) {
+      for (int j = 0; j < m; ++j) {
+        std::swap(b[static_cast<std::size_t>(arg) * m + j],
+                  b[static_cast<std::size_t>(piv) * m + j]);
+        std::swap(inv[static_cast<std::size_t>(arg) * m + j],
+                  inv[static_cast<std::size_t>(piv) * m + j]);
+      }
+    }
+    const double scale = 1.0 / b[static_cast<std::size_t>(piv) * m + piv];
+    for (int j = 0; j < m; ++j) {
+      b[static_cast<std::size_t>(piv) * m + j] *= scale;
+      inv[static_cast<std::size_t>(piv) * m + j] *= scale;
+    }
+    for (int i = 0; i < m; ++i) {
+      if (i == piv) continue;
+      const double f = b[static_cast<std::size_t>(i) * m + piv];
+      if (f == 0.0) continue;
+      for (int j = 0; j < m; ++j) {
+        b[static_cast<std::size_t>(i) * m + j] -=
+            f * b[static_cast<std::size_t>(piv) * m + j];
+        inv[static_cast<std::size_t>(i) * m + j] -=
+            f * inv[static_cast<std::size_t>(piv) * m + j];
+      }
+    }
+  }
+  binv_ = std::move(inv);
+  compute_basic_values();
+}
+
+SolveResult Simplex::run(bool phase1, long& iteration_budget) {
+  std::vector<double> costs;
+  if (phase1) {
+    prepare_phase1_costs(costs);
+  } else {
+    costs.resize(cols_.size());
+    for (std::size_t c = 0; c < cols_.size(); ++c) costs[c] = cols_[c].cost;
+  }
+
+  std::vector<double> y, alpha;
+  bool bland = false;
+  int degenerate_run = 0;
+  int pivots_since_refactor = 0;
+  long iters = 0;
+
+  while (true) {
+    if (iteration_budget-- <= 0) return finish(Status::IterationLimit, iters);
+    ++iters;
+
+    if (phase1 && phase1_infeasibility() <= options_.feas_tol)
+      return finish(Status::Optimal, iters);
+
+    compute_duals(costs, y);
+    int dir = 0;
+    const int entering = price(y, costs, bland, &dir);
+    if (entering < 0) return finish(Status::Optimal, iters);
+
+    ftran(cols_[entering], alpha);
+
+    // Ratio test: how far can the entering variable move?
+    const Column& ecol = cols_[entering];
+    double t = (ecol.up < kInf && ecol.lo > -kInf) ? ecol.up - ecol.lo : kInf;
+    int leaving_row = -1;
+    bool leaving_at_upper = false;
+    for (int i = 0; i < n_rows_; ++i) {
+      const double a = dir * alpha[i];
+      const Column& bcol = cols_[basis_[i]];
+      if (a > kPivotTol) {  // basic variable decreases toward its lower bound
+        if (bcol.lo > -kInf) {
+          const double limit = std::max(0.0, (xb_[i] - bcol.lo)) / a;
+          if (limit < t - 1e-12 ||
+              (limit < t + 1e-12 && leaving_row >= 0 &&
+               std::abs(alpha[i]) > std::abs(alpha[leaving_row]))) {
+            t = limit;
+            leaving_row = i;
+            leaving_at_upper = false;
+          }
+        }
+      } else if (a < -kPivotTol) {  // basic variable increases toward upper
+        if (bcol.up < kInf) {
+          const double limit = std::max(0.0, (bcol.up - xb_[i])) / (-a);
+          if (limit < t - 1e-12 ||
+              (limit < t + 1e-12 && leaving_row >= 0 &&
+               std::abs(alpha[i]) > std::abs(alpha[leaving_row]))) {
+            t = limit;
+            leaving_row = i;
+            leaving_at_upper = true;
+          }
+        }
+      }
+    }
+
+    if (t == kInf && leaving_row < 0)
+      return finish(phase1 ? Status::Infeasible : Status::Unbounded, iters);
+
+    degenerate_run = (t <= 1e-10) ? degenerate_run + 1 : 0;
+    if (degenerate_run > kDegenerateRunForBland) bland = true;
+
+    // Apply the step.
+    for (int i = 0; i < n_rows_; ++i) xb_[i] -= dir * t * alpha[i];
+
+    if (leaving_row < 0) {
+      // Bound flip: the entering variable traverses its whole range.
+      status_[entering] = (dir > 0) ? VarStatus::AtUpper : VarStatus::AtLower;
+      continue;
+    }
+
+    const int leaving = basis_[leaving_row];
+    const Column& lcol = cols_[leaving];
+    if (artificial_[leaving]) {
+      // Once an artificial leaves the basis it is locked out for good.
+      cols_[leaving].lo = cols_[leaving].up = 0.0;
+      status_[leaving] = VarStatus::Fixed;
+    } else {
+      status_[leaving] = leaving_at_upper ? VarStatus::AtUpper : VarStatus::AtLower;
+      // Guard: leaving variable lands exactly on a bound.
+      (void)lcol;
+    }
+    basis_pos_[leaving] = -1;
+
+    status_[entering] = VarStatus::Basic;
+    basis_[leaving_row] = entering;
+    basis_pos_[entering] = leaving_row;
+    const double enter_from = (dir > 0) ? ecol.lo : ecol.up;
+    xb_[leaving_row] = enter_from + dir * t;
+
+    // Gauss–Jordan update of the dense inverse.
+    const double pivot = alpha[leaving_row];
+    OLIVE_ASSERT(std::abs(pivot) > kPivotTol / 10);
+    double* prow = &binv_[static_cast<std::size_t>(leaving_row) * n_rows_];
+    const double inv_pivot = 1.0 / pivot;
+    for (int j = 0; j < n_rows_; ++j) prow[j] *= inv_pivot;
+    for (int i = 0; i < n_rows_; ++i) {
+      if (i == leaving_row) continue;
+      const double f = alpha[i];
+      if (f == 0.0) continue;
+      double* row = &binv_[static_cast<std::size_t>(i) * n_rows_];
+      for (int j = 0; j < n_rows_; ++j) row[j] -= f * prow[j];
+    }
+
+    if (++pivots_since_refactor >= options_.refactor_every) {
+      refactorize();
+      pivots_since_refactor = 0;
+    }
+  }
+}
+
+SolveResult Simplex::finish(Status status, long iterations) {
+  SolveResult res;
+  res.status = status;
+  res.iterations = iterations;
+  return res;
+}
+
+SolveResult Simplex::solve() {
+  install_slack_basis();
+  long budget = options_.max_iterations;
+
+  if (phase1_infeasibility() > options_.feas_tol) {
+    SolveResult p1 = run(/*phase1=*/true, budget);
+    if (p1.status == Status::IterationLimit) return p1;
+    if (phase1_infeasibility() > std::max(options_.feas_tol, 1e-6)) {
+      p1.status = Status::Infeasible;
+      return p1;
+    }
+  }
+  // Lock any artificial still hanging around (basic at ~0).
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    if (!artificial_[c]) continue;
+    cols_[c].lo = cols_[c].up = 0.0;
+    if (status_[c] != VarStatus::Basic) status_[c] = VarStatus::Fixed;
+  }
+  return resolve_internal(budget);
+}
+
+SolveResult Simplex::resolve() {
+  OLIVE_REQUIRE(has_basis_, "resolve() requires a prior solve()");
+  long budget = options_.max_iterations;
+  compute_basic_values();
+  // If the basis drifted out of feasibility (should not happen when only
+  // columns were added), fall back to a cold solve.
+  for (int i = 0; i < n_rows_; ++i) {
+    const Column& bcol = cols_[basis_[i]];
+    if (xb_[i] < bcol.lo - 1e-6 || xb_[i] > bcol.up + 1e-6) return solve();
+  }
+  return resolve_internal(budget);
+}
+
+SolveResult Simplex::resolve_internal(long& budget) {
+  SolveResult res = run(/*phase1=*/false, budget);
+  if (res.status != Status::Optimal && res.status != Status::Unbounded &&
+      res.status != Status::IterationLimit) {
+    return res;
+  }
+  if (res.status != Status::Optimal) return res;
+
+  res.x.assign(n_structural_, 0.0);
+  double obj = 0;
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    const double v = value_of(static_cast<int>(c));
+    const int mc = model_index_[c];
+    if (mc >= 0) {
+      res.x[mc] = v;
+      obj += cols_[c].cost * v;
+    }
+  }
+  res.objective = obj;
+
+  std::vector<double> costs(cols_.size());
+  for (std::size_t c = 0; c < cols_.size(); ++c) costs[c] = cols_[c].cost;
+  compute_duals(costs, res.duals);
+  return res;
+}
+
+int Simplex::add_column(double lo, double up, double cost,
+                        const SparseColumn& entries) {
+  OLIVE_REQUIRE(lo <= up, "column bounds must satisfy lo <= up");
+  OLIVE_REQUIRE(lo > -kInf || up < kInf, "free variables are not supported");
+  Column col;
+  col.lo = lo;
+  col.up = up;
+  col.cost = cost;
+  for (const auto& [r, v] : entries) {
+    OLIVE_REQUIRE(r >= 0 && r < n_rows_, "entry row out of range");
+    col.rows.push_back(r);
+    col.vals.push_back(v);
+  }
+  cols_.push_back(std::move(col));
+  artificial_.push_back(0);
+  model_index_.push_back(n_structural_);
+  const int model_col = n_structural_++;
+  if (has_basis_) {
+    OLIVE_ASSERT(status_.size() == cols_.size() - 1);
+    status_.push_back(lo == up          ? VarStatus::Fixed
+                      : (lo > -kInf)    ? VarStatus::AtLower
+                                        : VarStatus::AtUpper);
+    basis_pos_.push_back(-1);
+  }
+  return model_col;
+}
+
+SolveResult solve_lp(const Model& model, SimplexOptions options) {
+  Simplex solver(model, options);
+  return solver.solve();
+}
+
+}  // namespace olive::lp

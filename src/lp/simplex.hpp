@@ -1,0 +1,112 @@
+// Two-phase revised simplex for bounded-variable linear programs.
+//
+// Design notes
+//  * Standard computational form: every row gets a slack column (bounds
+//    chosen from the row sense); phase 1 adds artificial columns only for
+//    rows whose initial slack value would violate its bounds.
+//  * The basis inverse is kept as a dense matrix, updated by Gauss–Jordan
+//    pivots and refactorized periodically to bound numerical drift.  The
+//    master problems this library solves have a few hundred rows, for which
+//    a dense inverse is both simple and fast.
+//  * Dantzig pricing with an automatic switch to Bland's rule after a run of
+//    degenerate pivots, which guarantees termination.
+//  * Columns can be appended between solves (add_column/resolve), which is
+//    what the PLAN-VNE column-generation loop uses for warm starts.
+#pragma once
+
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace olive::lp {
+
+enum class Status { Optimal, Infeasible, Unbounded, IterationLimit };
+
+const char* to_string(Status s) noexcept;
+
+struct SolveResult {
+  Status status = Status::IterationLimit;
+  double objective = 0;
+  /// Values of the model's structural columns.
+  std::vector<double> x;
+  /// Row duals y, with the convention: reduced cost of a column equals
+  /// cost_j - sum_i y_i A_ij.  (For a minimization with <= rows at
+  /// optimality, y_i <= 0.)
+  std::vector<double> duals;
+  long iterations = 0;
+};
+
+struct SimplexOptions {
+  long max_iterations = 200000;
+  /// Primal feasibility tolerance (absolute, on variable bounds).
+  double feas_tol = 1e-7;
+  /// Reduced-cost optimality tolerance.
+  double opt_tol = 1e-9;
+  /// Refactorize the basis inverse every this many pivots.
+  int refactor_every = 128;
+};
+
+class Simplex {
+ public:
+  explicit Simplex(const Model& model, SimplexOptions options = {});
+
+  /// Solves from scratch (slack basis, phase 1 if needed, then phase 2).
+  SolveResult solve();
+
+  /// Appends a structural column (used by column generation).  The column
+  /// enters nonbasic at its lower bound, so an existing feasible basis stays
+  /// feasible.  Returns the new column's index in the model numbering.
+  int add_column(double lo, double up, double cost, const SparseColumn& entries);
+
+  /// Re-optimizes from the current basis (after add_column calls).
+  SolveResult resolve();
+
+  int num_structural() const noexcept { return n_structural_; }
+
+ private:
+  enum class VarStatus : unsigned char { AtLower, AtUpper, Basic, Fixed };
+
+  struct Column {
+    std::vector<int> rows;
+    std::vector<double> vals;
+    double lo = 0, up = 0, cost = 0;
+  };
+
+  // --- setup ---
+  void build_standard_form(const Model& model);
+  void install_slack_basis();
+
+  // --- core iteration machinery ---
+  double value_of(int col) const;
+  void compute_basic_values();
+  void compute_duals(const std::vector<double>& costs, std::vector<double>& y) const;
+  void ftran(const Column& col, std::vector<double>& out) const;
+  int price(const std::vector<double>& y, const std::vector<double>& costs,
+            bool bland, int* direction) const;
+  SolveResult run(bool phase1, long& iteration_budget);
+  void refactorize();
+  double phase1_infeasibility() const;
+  void prepare_phase1_costs(std::vector<double>& costs) const;
+  SolveResult resolve_internal(long& budget);
+  SolveResult finish(Status status, long iterations);
+
+  SimplexOptions options_;
+  int n_structural_ = 0;  // number of structural (model-visible) columns
+  int n_rows_ = 0;
+  std::vector<Column> cols_;        // structural + slack + artificial, mixed
+  std::vector<int> model_index_;    // internal col -> model col, or -1
+  std::vector<char> artificial_;    // internal col -> is phase-1 artificial
+  std::vector<int> slack_col_;      // row -> internal index of its slack
+  std::vector<double> rhs_;
+  std::vector<VarStatus> status_;
+  std::vector<int> basis_;          // row position -> internal column index
+  std::vector<int> basis_pos_;      // internal column index -> row pos or -1
+  std::vector<double> xb_;          // basic values by row position
+  std::vector<double> binv_;        // dense row-major n_rows_ x n_rows_
+  bool has_basis_ = false;
+};
+
+/// One-shot convenience wrapper.
+SolveResult solve_lp(const Model& model, SimplexOptions options = {});
+
+}  // namespace olive::lp

@@ -1,0 +1,74 @@
+#include "net/paths.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace olive::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+bool ShortestPathTree::reachable(NodeId v) const { return dist[v] < kInf; }
+
+std::vector<LinkId> ShortestPathTree::path_to(NodeId v) const {
+  OLIVE_REQUIRE(reachable(v), "no path to requested node");
+  std::vector<LinkId> links;
+  for (NodeId at = v; at != source; at = prev[at]) links.push_back(via_link[at]);
+  std::reverse(links.begin(), links.end());
+  return links;
+}
+
+ShortestPathTree dijkstra(const SubstrateNetwork& s, NodeId src,
+                          const std::vector<double>& link_weight,
+                          const std::function<bool(LinkId)>& usable) {
+  OLIVE_REQUIRE(src >= 0 && src < s.num_nodes(), "source out of range");
+  OLIVE_REQUIRE(static_cast<int>(link_weight.size()) == s.num_links(),
+                "link weight vector size mismatch");
+  ShortestPathTree t;
+  t.source = src;
+  t.dist.assign(s.num_nodes(), kInf);
+  t.via_link.assign(s.num_nodes(), -1);
+  t.prev.assign(s.num_nodes(), -1);
+  t.dist[src] = 0;
+
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > t.dist[v]) continue;  // stale entry
+    for (const auto& [nbr, l] : s.adjacency(v)) {
+      if (usable && !usable(l)) continue;
+      const double w = link_weight[l];
+      OLIVE_ASSERT(w >= 0);
+      const double nd = d + w;
+      if (nd < t.dist[nbr]) {
+        t.dist[nbr] = nd;
+        t.prev[nbr] = v;
+        t.via_link[nbr] = l;
+        heap.emplace(nd, nbr);
+      }
+    }
+  }
+  return t;
+}
+
+AllPairsShortestPaths::AllPairsShortestPaths(
+    const SubstrateNetwork& s, const std::vector<double>& link_weight) {
+  trees_.reserve(s.num_nodes());
+  for (NodeId v = 0; v < s.num_nodes(); ++v)
+    trees_.push_back(dijkstra(s, v, link_weight));
+}
+
+std::vector<double> link_cost_weights(const SubstrateNetwork& s) {
+  std::vector<double> w(s.num_links());
+  for (LinkId l = 0; l < s.num_links(); ++l) w[l] = s.link(l).cost;
+  return w;
+}
+
+}  // namespace olive::net

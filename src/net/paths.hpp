@@ -1,0 +1,52 @@
+// Shortest paths on the substrate with pluggable per-link weights and an
+// optional usability filter (e.g. "links with enough residual capacity").
+//
+// Used by GREEDYEMBED's one-Dijkstra collocated search (§III-C) and by the
+// PLAN-VNE pricing step, which re-runs all-pairs shortest paths whenever the
+// LP duals change the effective link costs.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/substrate.hpp"
+
+namespace olive::net {
+
+struct ShortestPathTree {
+  NodeId source = -1;
+  std::vector<double> dist;      ///< +inf where unreachable
+  std::vector<LinkId> via_link;  ///< link used to reach each node (-1 at src)
+  std::vector<NodeId> prev;      ///< predecessor node (-1 at src)
+
+  bool reachable(NodeId v) const;
+  /// Links from `source` to v, in order.  Empty for v == source.
+  std::vector<LinkId> path_to(NodeId v) const;
+};
+
+/// Dijkstra from `src`.  `link_weight[l]` must be >= 0.  If `usable` is
+/// provided, links for which it returns false are skipped.
+ShortestPathTree dijkstra(
+    const SubstrateNetwork& s, NodeId src, const std::vector<double>& link_weight,
+    const std::function<bool(LinkId)>& usable = {});
+
+/// All-pairs distances/trees (one Dijkstra per node).
+class AllPairsShortestPaths {
+ public:
+  AllPairsShortestPaths(const SubstrateNetwork& s,
+                        const std::vector<double>& link_weight);
+
+  double dist(NodeId a, NodeId b) const { return trees_[a].dist[b]; }
+  const ShortestPathTree& tree(NodeId src) const { return trees_.at(src); }
+  std::vector<LinkId> path(NodeId a, NodeId b) const {
+    return trees_.at(a).path_to(b);
+  }
+
+ private:
+  std::vector<ShortestPathTree> trees_;
+};
+
+/// Per-link weight vector `cost(l)` (the plain resource-cost metric).
+std::vector<double> link_cost_weights(const SubstrateNetwork& s);
+
+}  // namespace olive::net

@@ -1,0 +1,101 @@
+#include "net/substrate.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace olive::net {
+
+const char* to_string(Tier t) noexcept {
+  switch (t) {
+    case Tier::Edge: return "edge";
+    case Tier::Transport: return "transport";
+    case Tier::Core: return "core";
+  }
+  return "?";
+}
+
+NodeId SubstrateNetwork::add_node(SubstrateNode node) {
+  OLIVE_REQUIRE(node.capacity >= 0, "node capacity must be non-negative");
+  OLIVE_REQUIRE(node.cost >= 0, "node cost must be non-negative");
+  nodes_.push_back(std::move(node));
+  adj_.emplace_back();
+  return num_nodes() - 1;
+}
+
+LinkId SubstrateNetwork::add_link(NodeId a, NodeId b, double capacity,
+                                  double cost) {
+  OLIVE_REQUIRE(a >= 0 && a < num_nodes(), "link endpoint a out of range");
+  OLIVE_REQUIRE(b >= 0 && b < num_nodes(), "link endpoint b out of range");
+  OLIVE_REQUIRE(a != b, "self-loop links are not allowed");
+  OLIVE_REQUIRE(find_link(a, b) < 0, "duplicate link");
+  OLIVE_REQUIRE(capacity >= 0 && cost >= 0, "link capacity/cost must be >= 0");
+  links_.push_back({a, b, capacity, cost});
+  const LinkId l = num_links() - 1;
+  adj_[a].emplace_back(b, l);
+  adj_[b].emplace_back(a, l);
+  return l;
+}
+
+LinkId SubstrateNetwork::find_link(NodeId a, NodeId b) const {
+  if (a < 0 || a >= num_nodes()) return -1;
+  for (const auto& [nbr, l] : adj_[a])
+    if (nbr == b) return l;
+  return -1;
+}
+
+double SubstrateNetwork::element_capacity(int e) const {
+  return element_is_node(e) ? node(e).capacity : link(e - num_nodes()).capacity;
+}
+
+double SubstrateNetwork::element_cost(int e) const {
+  return element_is_node(e) ? node(e).cost : link(e - num_nodes()).cost;
+}
+
+std::string SubstrateNetwork::element_name(int e) const {
+  if (element_is_node(e)) return node(e).name;
+  const SubstrateLink& l = link(e - num_nodes());
+  return node(l.a).name + "-" + node(l.b).name;
+}
+
+std::vector<NodeId> SubstrateNetwork::nodes_in_tier(Tier t) const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes(); ++v)
+    if (nodes_[v].tier == t) out.push_back(v);
+  return out;
+}
+
+double SubstrateNetwork::total_capacity_in_tier(Tier t) const {
+  double total = 0;
+  for (const auto& n : nodes_)
+    if (n.tier == t) total += n.capacity;
+  return total;
+}
+
+bool SubstrateNetwork::is_connected() const {
+  if (nodes_.empty()) return false;
+  std::vector<char> seen(nodes_.size(), 0);
+  std::vector<NodeId> stack{0};
+  seen[0] = 1;
+  int reached = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const auto& [nbr, l] : adj_[v]) {
+      (void)l;
+      if (!seen[nbr]) {
+        seen[nbr] = 1;
+        ++reached;
+        stack.push_back(nbr);
+      }
+    }
+  }
+  return reached == num_nodes();
+}
+
+void SubstrateNetwork::validate() const {
+  OLIVE_REQUIRE(num_nodes() > 0, "substrate must have at least one node");
+  OLIVE_REQUIRE(is_connected(), "substrate must be connected");
+}
+
+}  // namespace olive::net

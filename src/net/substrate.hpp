@@ -1,0 +1,86 @@
+// Physical substrate network model (paper §II-A, Table I).
+//
+// The substrate is a graph of datacenters (nodes) and inter-datacenter
+// connections (links).  Every element (node or link) has a capacity and a
+// per-capacity-unit usage cost.  Nodes belong to one of three tiers of the
+// mobile access architecture (edge / transport / core) and may be flagged as
+// GPU datacenters (used by the Fig. 10 scenario).
+//
+// Elements are addressed two ways: by their own id (NodeId / LinkId) and by
+// a flat *element index* (nodes first, then links), which load vectors and
+// the LP capacity rows use throughout the library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace olive::net {
+
+using NodeId = int;
+using LinkId = int;
+
+enum class Tier { Edge, Transport, Core };
+
+const char* to_string(Tier t) noexcept;
+
+struct SubstrateNode {
+  std::string name;
+  Tier tier = Tier::Edge;
+  double capacity = 0;  ///< cap(v) in capacity units (CU)
+  double cost = 0;      ///< cost(v) per CU
+  bool gpu = false;     ///< GPU datacenter (GPU VNFs only; see eta())
+};
+
+struct SubstrateLink {
+  NodeId a = -1, b = -1;  ///< endpoints (undirected)
+  double capacity = 0;    ///< cap(vw) in CU
+  double cost = 0;        ///< cost(vw) per CU
+};
+
+class SubstrateNetwork {
+ public:
+  NodeId add_node(SubstrateNode node);
+  /// Adds an undirected link; rejects self-loops, unknown endpoints, and
+  /// duplicate links.
+  LinkId add_link(NodeId a, NodeId b, double capacity, double cost);
+
+  int num_nodes() const noexcept { return static_cast<int>(nodes_.size()); }
+  int num_links() const noexcept { return static_cast<int>(links_.size()); }
+
+  const SubstrateNode& node(NodeId v) const { return nodes_.at(v); }
+  SubstrateNode& node(NodeId v) { return nodes_.at(v); }
+  const SubstrateLink& link(LinkId l) const { return links_.at(l); }
+  SubstrateLink& link(LinkId l) { return links_.at(l); }
+
+  /// Neighbors of v as (neighbor node, connecting link) pairs.
+  const std::vector<std::pair<NodeId, LinkId>>& adjacency(NodeId v) const {
+    return adj_.at(v);
+  }
+
+  /// Link between a and b, or -1.
+  LinkId find_link(NodeId a, NodeId b) const;
+
+  // --- flat element indexing: nodes 0..N-1, links N..N+L-1 ---
+  int element_count() const noexcept { return num_nodes() + num_links(); }
+  int node_element(NodeId v) const noexcept { return v; }
+  int link_element(LinkId l) const noexcept { return num_nodes() + l; }
+  bool element_is_node(int e) const noexcept { return e < num_nodes(); }
+  double element_capacity(int e) const;
+  double element_cost(int e) const;
+  std::string element_name(int e) const;
+
+  std::vector<NodeId> nodes_in_tier(Tier t) const;
+  double total_capacity_in_tier(Tier t) const;
+
+  bool is_connected() const;
+
+  /// Throws InvalidArgument unless the network is non-empty and connected.
+  void validate() const;
+
+ private:
+  std::vector<SubstrateNode> nodes_;
+  std::vector<SubstrateLink> links_;
+  std::vector<std::vector<std::pair<NodeId, LinkId>>> adj_;
+};
+
+}  // namespace olive::net

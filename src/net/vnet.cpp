@@ -1,0 +1,65 @@
+#include "net/vnet.hpp"
+
+#include "util/error.hpp"
+
+namespace olive::net {
+
+VirtualNetwork::VirtualNetwork(const std::vector<int>& parents,
+                               const std::vector<double>& sizes,
+                               const std::vector<double>& link_sizes) {
+  OLIVE_REQUIRE(parents.size() == sizes.size(), "parents/sizes length mismatch");
+  OLIVE_REQUIRE(parents.size() == link_sizes.size(),
+                "parents/link_sizes length mismatch");
+  const int n = static_cast<int>(parents.size()) + 1;
+  nodes_.resize(n);
+  nodes_[0] = VirtualNode{0.0, false};  // θ: ingress only, zero size (§II-A)
+  children_.resize(n);
+  for (int i = 1; i < n; ++i) {
+    const int p = parents[i - 1];
+    OLIVE_REQUIRE(p >= 0 && p < i,
+                  "parent indices must reference earlier nodes (tree order)");
+    OLIVE_REQUIRE(sizes[i - 1] >= 0 && link_sizes[i - 1] >= 0,
+                  "virtual element sizes must be non-negative");
+    nodes_[i].size = sizes[i - 1];
+    links_.push_back({p, i, link_sizes[i - 1]});
+    children_[p].push_back(i);
+  }
+  preorder_.reserve(n);
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    preorder_.push_back(v);
+    // Push children in reverse so pre-order visits them left-to-right.
+    for (auto it = children_[v].rbegin(); it != children_[v].rend(); ++it)
+      stack.push_back(*it);
+  }
+}
+
+VirtualNetwork VirtualNetwork::chain(const std::vector<double>& sizes,
+                                     const std::vector<double>& link_sizes) {
+  std::vector<int> parents(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    parents[i] = static_cast<int>(i);
+  return VirtualNetwork(parents, sizes, link_sizes);
+}
+
+double VirtualNetwork::total_node_size() const {
+  double total = 0;
+  for (const auto& n : nodes_) total += n.size;
+  return total;
+}
+
+double VirtualNetwork::total_link_size() const {
+  double total = 0;
+  for (const auto& l : links_) total += l.size;
+  return total;
+}
+
+bool VirtualNetwork::has_gpu_vnf() const {
+  for (const auto& n : nodes_)
+    if (n.gpu) return true;
+  return false;
+}
+
+}  // namespace olive::net

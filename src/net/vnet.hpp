@@ -1,0 +1,77 @@
+// Virtual network (application) topologies (paper §II-A).
+//
+// An application's topology G_a is a tree rooted at the user node θ (always
+// virtual node 0, with size 0).  Virtual node i > 0 is connected to its
+// parent by virtual link i-1.  Each element carries a size β_q; demands
+// multiply these sizes at embedding time (Eq. 1).
+//
+// The paper's four application types are provided as factory helpers in
+// src/workload/appgen.*; this module only defines the structure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace olive::net {
+
+struct VirtualNode {
+  double size = 0;   ///< β_i (θ has size 0)
+  bool gpu = false;  ///< must be placed on a GPU datacenter
+};
+
+struct VirtualLink {
+  int parent = -1, child = -1;  ///< virtual node endpoints (parent closer to θ)
+  double size = 0;              ///< β_ij
+};
+
+class VirtualNetwork {
+ public:
+  /// Builds a tree from a parent array: parents[i] is the parent of virtual
+  /// node i+1 (node 0 is the root θ).  sizes[i] is β of node i+1 and
+  /// link_sizes[i] is β of the link connecting node i+1 to its parent.
+  VirtualNetwork(const std::vector<int>& parents,
+                 const std::vector<double>& sizes,
+                 const std::vector<double>& link_sizes);
+
+  /// Convenience: θ -> f1 -> f2 -> ... chain.
+  static VirtualNetwork chain(const std::vector<double>& sizes,
+                              const std::vector<double>& link_sizes);
+
+  int num_nodes() const noexcept { return static_cast<int>(nodes_.size()); }
+  int num_links() const noexcept { return static_cast<int>(links_.size()); }
+
+  const VirtualNode& vnode(int i) const { return nodes_.at(i); }
+  VirtualNode& vnode(int i) { return nodes_.at(i); }
+  const VirtualLink& vlink(int i) const { return links_.at(i); }
+  VirtualLink& vlink(int i) { return links_.at(i); }
+
+  /// Children of virtual node i (tree edges away from θ).
+  const std::vector<int>& children(int i) const { return children_.at(i); }
+  int parent(int i) const { return i == 0 ? -1 : links_.at(i - 1).parent; }
+  /// The virtual link connecting node i (i > 0) to its parent.
+  int parent_link(int i) const { return i - 1; }
+
+  /// Sum of virtual node sizes (the request "size" used for utilization
+  /// accounting in §IV-A).
+  double total_node_size() const;
+  double total_link_size() const;
+
+  /// Nodes in depth-first pre-order from θ (parents before children).
+  const std::vector<int>& preorder() const { return preorder_; }
+
+  bool has_gpu_vnf() const;
+
+ private:
+  std::vector<VirtualNode> nodes_;
+  std::vector<VirtualLink> links_;
+  std::vector<std::vector<int>> children_;
+  std::vector<int> preorder_;
+};
+
+/// An application a ∈ A: a named virtual-network topology.
+struct Application {
+  std::string name;
+  VirtualNetwork topology;
+};
+
+}  // namespace olive::net

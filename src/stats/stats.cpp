@@ -1,0 +1,105 @@
+#include "stats/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace olive::stats {
+
+namespace {
+
+/// Type-7 percentile via nth_element — O(n), reorders `data`.
+double percentile_inplace(std::vector<double>& data, double alpha) {
+  OLIVE_REQUIRE(!data.empty(), "percentile of empty data");
+  OLIVE_REQUIRE(alpha >= 0 && alpha <= 100, "alpha must be in [0, 100]");
+  const double h = (alpha / 100.0) * (static_cast<double>(data.size()) - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(h));
+  const double frac = h - static_cast<double>(lo);
+  const auto nth = data.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(data.begin(), nth, data.end());
+  const double vlo = *nth;
+  if (frac == 0.0 || lo + 1 >= data.size()) return vlo;
+  // After nth_element everything past `nth` is >= *nth, so the next order
+  // statistic is the minimum of the tail.
+  const double vhi = *std::min_element(nth + 1, data.end());
+  return vlo + frac * (vhi - vlo);
+}
+
+}  // namespace
+
+double percentile(std::vector<double> data, double alpha) {
+  return percentile_inplace(data, alpha);
+}
+
+double ecdf(const std::vector<double>& data, double x) {
+  OLIVE_REQUIRE(!data.empty(), "ecdf of empty data");
+  std::size_t count = 0;
+  for (double v : data) count += (v <= x);
+  return static_cast<double>(count) / static_cast<double>(data.size());
+}
+
+BootstrapEstimate bootstrap_percentile(const std::vector<double>& data,
+                                       double alpha, int resamples, Rng& rng) {
+  OLIVE_REQUIRE(!data.empty(), "bootstrap of empty data");
+  OLIVE_REQUIRE(resamples > 0, "need at least one resample");
+  std::vector<double> replicates(resamples);
+  std::vector<double> sample(data.size());
+  for (int b = 0; b < resamples; ++b) {
+    for (auto& v : sample) v = data[rng.below(data.size())];
+    replicates[b] = percentile_inplace(sample, alpha);
+  }
+  BootstrapEstimate est;
+  double sum = 0;
+  for (double v : replicates) sum += v;
+  est.estimate = sum / resamples;
+  est.ci_low = percentile(replicates, 2.5);
+  est.ci_high = percentile(replicates, 97.5);
+  return est;
+}
+
+double rejection_balance_index(
+    const std::vector<std::vector<double>>& rejected,
+    const std::vector<double>& weight) {
+  OLIVE_REQUIRE(rejected.size() == weight.size(),
+                "rejected/weight size mismatch");
+  if (rejected.empty()) return 1.0;
+  double total_weight = 0, total = 0;
+  for (std::size_t v = 0; v < rejected.size(); ++v) {
+    OLIVE_REQUIRE(weight[v] >= 0, "weights must be non-negative");
+    const auto& xs = rejected[v];
+    OLIVE_REQUIRE(!xs.empty(), "each node needs per-application counts");
+    double sum = 0, sumsq = 0;
+    for (double x : xs) {
+      OLIVE_REQUIRE(x >= 0, "rejection counts must be non-negative");
+      sum += x;
+      sumsq += x * x;
+    }
+    // Jain's index of the per-application rejection vector at v; a node
+    // with zero rejections is perfectly balanced.
+    const double jain =
+        sumsq > 0 ? (sum * sum) / (static_cast<double>(xs.size()) * sumsq)
+                  : 1.0;
+    total += weight[v] * jain;
+    total_weight += weight[v];
+  }
+  return total_weight > 0 ? total / total_weight : 1.0;
+}
+
+MeanCi mean_ci(const std::vector<double>& samples) {
+  MeanCi out;
+  out.n = samples.size();
+  if (samples.empty()) return out;
+  double sum = 0;
+  for (double v : samples) sum += v;
+  out.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() < 2) return out;
+  double ss = 0;
+  for (double v : samples) ss += (v - out.mean) * (v - out.mean);
+  const double var = ss / static_cast<double>(samples.size() - 1);
+  out.half_width =
+      1.96 * std::sqrt(var / static_cast<double>(samples.size()));
+  return out;
+}
+
+}  // namespace olive::stats

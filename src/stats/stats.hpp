@@ -1,0 +1,54 @@
+// Statistics substrate.
+//
+// Implements the statistical machinery of §III-A and §IV-B:
+//  * ECDF / percentiles of the per-slot aggregated demand,
+//  * bootstrap estimation of a percentile with a confidence interval
+//    (the paper estimates the P̂80 of history demand by bootstrapping and
+//    checks conformance against its 95% CI),
+//  * the rejection balance index of Eq. (20) (a weighted Jain index),
+//  * mean ± confidence-interval aggregation across experiment repetitions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace olive::stats {
+
+/// Percentile via linear interpolation between order statistics (the common
+/// "type 7" estimator).  alpha in [0, 100].  Throws on empty data.
+double percentile(std::vector<double> data, double alpha);
+
+/// Empirical CDF value P(X <= x).
+double ecdf(const std::vector<double>& data, double x);
+
+struct BootstrapEstimate {
+  double estimate = 0;  ///< mean of the bootstrap replicates
+  double ci_low = 0;    ///< 95% percentile-bootstrap interval
+  double ci_high = 0;
+};
+
+/// Bootstrap estimate of the alpha-percentile of `data` (resampling with
+/// replacement, `resamples` replicates).  Deterministic in `rng`.
+BootstrapEstimate bootstrap_percentile(const std::vector<double>& data,
+                                       double alpha, int resamples, Rng& rng);
+
+/// Eq. (20): weighted Jain balance index over rejection counts.
+/// rejected[v][a] is the number of rejected requests of application a at
+/// datacenter v; weight[v] is n(v), the number of requests at v.  Nodes with
+/// no rejections at all contribute a perfectly-balanced term (index 1).
+/// Returns 1 for an empty input (perfect balance by convention).
+double rejection_balance_index(const std::vector<std::vector<double>>& rejected,
+                               const std::vector<double>& weight);
+
+struct MeanCi {
+  double mean = 0;
+  double half_width = 0;  ///< 95% normal-approximation half width
+  std::size_t n = 0;
+};
+
+/// Sample mean with a 95% confidence half-width (1.96 · stderr).
+MeanCi mean_ci(const std::vector<double>& samples);
+
+}  // namespace olive::stats

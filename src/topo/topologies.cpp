@@ -1,0 +1,238 @@
+#include "topo/topologies.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace olive::topo {
+
+using net::NodeId;
+using net::SubstrateNetwork;
+using net::Tier;
+
+TierParams tier_params(Tier t) noexcept {
+  // Table II: successive tiers scale node and link capacity by 3x.
+  switch (t) {
+    case Tier::Edge: return {200e3, 50.0, 100e3, 1.0};
+    case Tier::Transport: return {600e3, 10.0, 300e3, 1.0};
+    case Tier::Core: return {1800e3, 1.0, 900e3, 1.0};
+  }
+  return {};
+}
+
+Tier link_tier(const SubstrateNetwork& s, NodeId a, NodeId b) {
+  return std::min(s.node(a).tier, s.node(b).tier);  // Edge < Transport < Core
+}
+
+namespace {
+
+/// Draws the Table II attributes: capacity from the tier, cost uniformly in
+/// [50%, 150%] of the tier's mean datacenter cost.
+NodeId add_tiered_node(SubstrateNetwork& s, Tier tier, std::string name,
+                       Rng& rng) {
+  const TierParams p = tier_params(tier);
+  net::SubstrateNode node;
+  node.name = std::move(name);
+  node.tier = tier;
+  node.capacity = p.node_capacity;
+  node.cost = p.mean_node_cost * rng.uniform(0.5, 1.5);
+  return s.add_node(std::move(node));
+}
+
+net::LinkId add_tiered_link(SubstrateNetwork& s, NodeId a, NodeId b) {
+  const TierParams p = tier_params(link_tier(s, a, b));
+  return s.add_link(a, b, p.link_capacity, p.link_cost);
+}
+
+/// Builds a standard three-tier access topology: a core ring with chords,
+/// transport nodes multi-homed to the core ring, and edge nodes single-homed
+/// to transport nodes.  extra_* parameters tune the exact link count.
+SubstrateNetwork tiered_topology(Rng& rng, int n_core, int n_transport,
+                                 int n_edge, int core_chords,
+                                 int transport_second_uplinks,
+                                 int transport_lateral_links,
+                                 const std::vector<std::string>& edge_names) {
+  SubstrateNetwork s;
+  std::vector<NodeId> core, transport, edge;
+  for (int i = 0; i < n_core; ++i)
+    core.push_back(add_tiered_node(s, Tier::Core, "core" + std::to_string(i), rng));
+  for (int i = 0; i < n_transport; ++i)
+    transport.push_back(
+        add_tiered_node(s, Tier::Transport, "tr" + std::to_string(i), rng));
+  for (int i = 0; i < n_edge; ++i) {
+    std::string name = i < static_cast<int>(edge_names.size())
+                           ? edge_names[i]
+                           : "edge" + std::to_string(i);
+    edge.push_back(add_tiered_node(s, Tier::Edge, std::move(name), rng));
+  }
+
+  // Core ring plus chords.
+  for (int i = 0; i < n_core; ++i)
+    add_tiered_link(s, core[i], core[(i + 1) % n_core]);
+  for (int c = 0; c < core_chords; ++c)
+    add_tiered_link(s, core[c % n_core], core[(c + n_core / 2) % n_core]);
+
+  // Every transport node has one core uplink; the first
+  // `transport_second_uplinks` of them get a second, disjoint uplink.
+  for (int i = 0; i < n_transport; ++i)
+    add_tiered_link(s, transport[i], core[i % n_core]);
+  for (int i = 0; i < transport_second_uplinks; ++i)
+    add_tiered_link(s, transport[i], core[(i + 1) % n_core]);
+
+  // Lateral transport-transport links for redundancy.
+  for (int i = 0; i < transport_lateral_links; ++i)
+    add_tiered_link(s, transport[i % n_transport],
+                    transport[(i + 1) % n_transport]);
+
+  // Edge nodes single-homed round-robin across transports.
+  for (int i = 0; i < n_edge; ++i)
+    add_tiered_link(s, edge[i], transport[i % n_transport]);
+
+  s.validate();
+  return s;
+}
+
+/// City names for Iris edge datacenters; 'Franklin' is the node examined in
+/// the paper's Fig. 12.
+std::vector<std::string> iris_edge_names() {
+  return {"Franklin",   "Aurora",    "Bellevue", "Clayton",  "Dover",
+          "Easton",     "Fairfield", "Georgetown", "Hudson", "Irvington",
+          "Jackson",    "Kingston",  "Lebanon",  "Madison",  "Newport",
+          "Oakland",    "Princeton", "Quincy",   "Riverside", "Salem",
+          "Trenton",    "Union",     "Vernon",   "Warren",   "Xenia",
+          "York",       "Zanesville", "Ashland", "Bristol",  "Camden"};
+}
+
+}  // namespace
+
+net::SubstrateNetwork iris(Rng& rng) {
+  // 50 nodes: 6 core + 14 transport + 30 edge.
+  // 64 links: ring 6 + chords 2 + uplinks 14 + second uplinks 12 + edge 30.
+  SubstrateNetwork s = tiered_topology(rng, 6, 14, 30, /*core_chords=*/2,
+                                       /*transport_second_uplinks=*/12,
+                                       /*transport_lateral_links=*/0,
+                                       iris_edge_names());
+  OLIVE_ASSERT(s.num_nodes() == 50 && s.num_links() == 64);
+  return s;
+}
+
+net::SubstrateNetwork citta_studi(Rng& rng) {
+  // 30 nodes: 3 core + 7 transport + 20 edge.
+  // 35 links: ring 3 + uplinks 7 + second uplinks 3 + lateral 2 + edge 20.
+  SubstrateNetwork s = tiered_topology(rng, 3, 7, 20, /*core_chords=*/0,
+                                       /*transport_second_uplinks=*/3,
+                                       /*transport_lateral_links=*/2, {});
+  OLIVE_ASSERT(s.num_nodes() == 30 && s.num_links() == 35);
+  return s;
+}
+
+net::SubstrateNetwork fivegen(Rng& rng) {
+  // 78 nodes: 6 core + 18 aggregation + 54 gNB/edge.
+  // 100 links: ring 6 + chords 3 + uplinks 18 + second uplinks 18 + lateral 1
+  //            + edge 54.
+  SubstrateNetwork s = tiered_topology(rng, 6, 18, 54, /*core_chords=*/3,
+                                       /*transport_second_uplinks=*/18,
+                                       /*transport_lateral_links=*/1, {});
+  OLIVE_ASSERT(s.num_nodes() == 78 && s.num_links() == 100);
+  return s;
+}
+
+net::SubstrateNetwork erdos_renyi(Rng& rng, int nodes, int links) {
+  OLIVE_REQUIRE(nodes >= 2, "need at least two nodes");
+  OLIVE_REQUIRE(links >= nodes - 1, "need at least a spanning tree of links");
+  OLIVE_REQUIRE(static_cast<long>(links) <= static_cast<long>(nodes) *
+                    (nodes - 1) / 2,
+                "too many links for a simple graph");
+
+  // Structure first: random spanning tree (guarantees connectivity), then
+  // uniformly random extra edges.  Tiers are assigned afterwards by degree.
+  std::vector<std::pair<int, int>> edges;
+  std::vector<int> order(nodes);
+  std::iota(order.begin(), order.end(), 0);
+  for (int i = nodes - 1; i > 0; --i)
+    std::swap(order[i], order[rng.below(static_cast<std::uint64_t>(i) + 1)]);
+  auto has_edge = [&](int a, int b) {
+    for (const auto& [x, y] : edges)
+      if ((x == a && y == b) || (x == b && y == a)) return true;
+    return false;
+  };
+  for (int i = 1; i < nodes; ++i) {
+    const int a = order[i];
+    const int b = order[rng.below(static_cast<std::uint64_t>(i))];
+    edges.emplace_back(a, b);
+  }
+  while (static_cast<int>(edges.size()) < links) {
+    const int a = static_cast<int>(rng.below(nodes));
+    const int b = static_cast<int>(rng.below(nodes));
+    if (a == b || has_edge(a, b)) continue;
+    edges.emplace_back(a, b);
+  }
+
+  std::vector<int> degree(nodes, 0);
+  for (const auto& [a, b] : edges) {
+    ++degree[a];
+    ++degree[b];
+  }
+  // Highest-degree 10% become core, the next 25% transport, the rest edge —
+  // mirroring how [29]/[3] tier random graphs.
+  std::vector<int> by_degree(nodes);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](int a, int b) { return degree[a] > degree[b]; });
+  std::vector<Tier> tier(nodes, Tier::Edge);
+  const int n_core = std::max(1, nodes / 10);
+  const int n_transport = std::max(1, nodes / 4);
+  for (int i = 0; i < nodes; ++i) {
+    if (i < n_core) {
+      tier[by_degree[i]] = Tier::Core;
+    } else if (i < n_core + n_transport) {
+      tier[by_degree[i]] = Tier::Transport;
+    }
+  }
+
+  SubstrateNetwork s;
+  for (int v = 0; v < nodes; ++v)
+    add_tiered_node(s, tier[v], "n" + std::to_string(v), rng);
+  for (const auto& [a, b] : edges) add_tiered_link(s, a, b);
+  s.validate();
+  return s;
+}
+
+std::vector<NamedTopology> evaluation_topologies(Rng& rng) {
+  std::vector<NamedTopology> out;
+  Rng r1 = rng.fork(stable_hash("iris"));
+  Rng r2 = rng.fork(stable_hash("citta"));
+  Rng r3 = rng.fork(stable_hash("5gen"));
+  Rng r4 = rng.fork(stable_hash("er"));
+  out.push_back({"Iris", iris(r1)});
+  out.push_back({"CittaStudi", citta_studi(r2)});
+  out.push_back({"5GEN", fivegen(r3)});
+  out.push_back({"100N150E", erdos_renyi(r4)});
+  return out;
+}
+
+net::SubstrateNetwork make_gpu_variant(const net::SubstrateNetwork& s, Rng& rng,
+                                       int gpu_edge_nodes) {
+  net::SubstrateNetwork out = s;
+  // Half of the core datacenters host GPUs.
+  const auto cores = out.nodes_in_tier(Tier::Core);
+  for (std::size_t i = 0; i < cores.size(); i += 2) out.node(cores[i]).gpu = true;
+  // Plus `gpu_edge_nodes` random edge datacenters.
+  auto edges = out.nodes_in_tier(Tier::Edge);
+  OLIVE_REQUIRE(static_cast<int>(edges.size()) >= gpu_edge_nodes,
+                "not enough edge nodes for the GPU variant");
+  for (int k = 0; k < gpu_edge_nodes; ++k) {
+    const std::size_t pick = k + rng.below(edges.size() - k);
+    std::swap(edges[k], edges[pick]);
+    out.node(edges[k]).gpu = true;
+  }
+  // Non-GPU datacenters get 25% less capacity (§IV-B).
+  for (NodeId v = 0; v < out.num_nodes(); ++v)
+    if (!out.node(v).gpu) out.node(v).capacity *= 0.75;
+  return out;
+}
+
+}  // namespace olive::topo

@@ -1,0 +1,93 @@
+#include "util/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace olive {
+
+double sample_standard_normal(Rng& rng) noexcept {
+  // Box–Muller; u1 is kept away from 0 so log() is finite.
+  double u1 = rng.uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = rng.uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return r * std::cos(2.0 * std::numbers::pi_v<double> * u2);
+}
+
+double sample_normal(Rng& rng, double mean, double stddev) noexcept {
+  return mean + stddev * sample_standard_normal(rng);
+}
+
+double sample_truncated_normal(Rng& rng, double mean, double stddev,
+                               double floor) {
+  OLIVE_REQUIRE(stddev >= 0, "stddev must be non-negative");
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double x = sample_normal(rng, mean, stddev);
+    if (x >= floor) return x;
+  }
+  return floor;  // pathological parameters; return the boundary
+}
+
+double sample_exponential(Rng& rng, double mean) {
+  OLIVE_REQUIRE(mean > 0, "exponential mean must be positive");
+  double u = rng.uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+std::uint64_t sample_poisson(Rng& rng, double lambda) {
+  OLIVE_REQUIRE(lambda >= 0, "poisson lambda must be non-negative");
+  if (lambda == 0) return 0;
+  if (lambda < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-lambda);
+    double prod = 1.0;
+    std::uint64_t n = 0;
+    do {
+      prod *= rng.uniform();
+      ++n;
+    } while (prod > limit);
+    return n - 1;
+  }
+  // Normal approximation with continuity correction is accurate enough for
+  // the arrival-count magnitudes used here (lambda up to a few thousand) and
+  // keeps the sampler simple and monotone in its uniform inputs.
+  const double x = sample_normal(rng, lambda, std::sqrt(lambda));
+  return x <= 0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+double sample_pareto(Rng& rng, double scale, double shape) {
+  OLIVE_REQUIRE(scale > 0 && shape > 0, "pareto parameters must be positive");
+  double u = rng.uniform();
+  if (u < 1e-300) u = 1e-300;
+  return scale / std::pow(u, 1.0 / shape);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) {
+  OLIVE_REQUIRE(n > 0, "zipf support must be non-empty");
+  OLIVE_REQUIRE(alpha >= 0, "zipf exponent must be non-negative");
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    cdf_[k] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against round-off
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::size_t k) const {
+  OLIVE_REQUIRE(k < cdf_.size(), "zipf rank out of range");
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace olive

@@ -1,0 +1,53 @@
+// Portable, deterministic samplers for the distributions used in the paper's
+// evaluation (Table III): truncated normal (request/element sizes),
+// exponential (durations), Zipf (node popularity), Poisson (arrival counts),
+// and Pareto (heavy-tailed CAIDA-like source volumes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace olive {
+
+/// Standard normal via the Box–Muller transform (stateless; uses two draws).
+double sample_standard_normal(Rng& rng) noexcept;
+
+/// Normal(mean, stddev).
+double sample_normal(Rng& rng, double mean, double stddev) noexcept;
+
+/// Normal(mean, stddev) truncated to values >= floor (resampling; the
+/// evaluation uses N(10,4) and N(50,30) whose mass below 0 is tiny, so
+/// truncation barely distorts the distribution but keeps demands positive).
+double sample_truncated_normal(Rng& rng, double mean, double stddev,
+                               double floor = 1e-6);
+
+/// Exponential with the given mean (mean = 1/rate).
+double sample_exponential(Rng& rng, double mean);
+
+/// Poisson(lambda) — inversion for small lambda, PTRS rejection for large.
+std::uint64_t sample_poisson(Rng& rng, double lambda);
+
+/// Pareto with scale x_m > 0 and shape alpha > 0.
+double sample_pareto(Rng& rng, double scale, double shape);
+
+/// Zipf sampler over ranks {0, ..., n-1} with exponent alpha:
+/// P(k) proportional to 1/(k+1)^alpha.  Precomputes the CDF once; sampling is
+/// a binary search, so repeated draws are cheap and deterministic.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  std::size_t operator()(Rng& rng) const noexcept;
+
+  /// Probability of rank k (for tests and for expected-demand computations).
+  double probability(std::size_t k) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace olive

@@ -1,0 +1,46 @@
+// Error-handling helpers shared across the library.
+//
+// Policy (per C++ Core Guidelines E.2/E.3): exceptions report errors that a
+// caller can reasonably handle (bad input, infeasible model); OLIVE_ASSERT
+// guards internal invariants and throws LogicError so that violations are
+// visible in release builds too (the library is used from long-running
+// experiment harnesses where silent corruption is worse than termination).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace olive {
+
+/// Invalid input supplied by the caller (bad topology, malformed request...).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Internal invariant violation — indicates a bug in the library itself.
+class LogicError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Numerical failure inside a solver (singular basis, no convergence...).
+class SolverError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  throw LogicError(std::string("invariant violated: ") + expr + " at " + file +
+                   ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace olive
+
+#define OLIVE_ASSERT(expr) \
+  ((expr) ? void(0) : ::olive::detail::assert_fail(#expr, __FILE__, __LINE__))
+
+#define OLIVE_REQUIRE(expr, msg) \
+  ((expr) ? void(0) : throw ::olive::InvalidArgument(msg))

@@ -1,0 +1,53 @@
+// Deterministic random-number generation.
+//
+// The whole library routes randomness through Rng (xoshiro256++ seeded via
+// splitmix64).  We deliberately avoid std::normal_distribution & friends:
+// their output is implementation-defined, and the experiments must be
+// bit-reproducible across standard libraries and platforms.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace olive {
+
+/// splitmix64 step — used for seeding and for deriving sub-streams.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256++ PRNG.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n) without modulo bias (n > 0).
+  std::uint64_t below(std::uint64_t n) noexcept;
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t integer(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Bernoulli trial.
+  bool chance(double p) noexcept;
+
+  /// Derives an independent generator for a named sub-stream.  Streams with
+  /// distinct tags (or distinct parents) are statistically independent, so
+  /// e.g. the arrival process and the demand sizes never share a stream.
+  Rng fork(std::uint64_t tag) const noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Stable 64-bit hash of a string (FNV-1a) — for naming sub-streams.
+std::uint64_t stable_hash(std::string_view s) noexcept;
+
+}  // namespace olive

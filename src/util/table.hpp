@@ -1,0 +1,32 @@
+// Minimal table/CSV emitter used by the benchmark harness to print the
+// rows/series of each paper figure in a uniform, greppable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace olive {
+
+/// Collects rows of string cells and renders them either as aligned text
+/// (for terminals) or CSV (for plotting scripts).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 4);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace olive

@@ -1,0 +1,98 @@
+#include "workload/appgen.hpp"
+
+#include "util/distributions.hpp"
+#include "util/error.hpp"
+
+namespace olive::workload {
+
+const char* to_string(AppKind k) noexcept {
+  switch (k) {
+    case AppKind::Chain: return "chain";
+    case AppKind::Tree: return "tree";
+    case AppKind::Accelerator: return "accelerator";
+    case AppKind::Gpu: return "gpu";
+  }
+  return "?";
+}
+
+namespace {
+
+double element_size(const AppGenConfig& c, Rng& rng) {
+  return sample_truncated_normal(rng, c.element_size_mean, c.element_size_std,
+                                 1.0);
+}
+
+}  // namespace
+
+net::Application sample_application(AppKind kind, const AppGenConfig& config,
+                                    Rng& rng) {
+  OLIVE_REQUIRE(config.min_vnfs >= 1 && config.max_vnfs >= config.min_vnfs,
+                "invalid VNF count range");
+  const int k =
+      static_cast<int>(rng.integer(config.min_vnfs, config.max_vnfs));
+
+  std::vector<int> parents(k);
+  std::vector<double> sizes(k), link_sizes(k);
+  for (int i = 0; i < k; ++i) {
+    parents[i] = i;  // chain by default: node i+1 hangs off node i
+    sizes[i] = element_size(config, rng);
+    link_sizes[i] = element_size(config, rng);
+  }
+
+  switch (kind) {
+    case AppKind::Chain:
+      break;
+
+    case AppKind::Tree: {
+      // θ -> f1, then two branches fork from f1 ("a tree with two
+      // branches"): odd nodes continue branch A, even nodes branch B.
+      for (int i = 1; i < k; ++i) parents[i] = std::max(1, i - 1);
+      if (k >= 3) parents[2] = 1;  // second branch also forks at f1
+      break;
+    }
+
+    case AppKind::Accelerator: {
+      // One accelerator VNF shrinks all downstream links by 70% ([33]).
+      const int acc =
+          static_cast<int>(rng.integer(1, std::max(1, k - 1)));  // not the last
+      for (int i = acc; i < k; ++i)
+        link_sizes[i] *= (1.0 - config.accelerator_shrink);
+      break;
+    }
+
+    case AppKind::Gpu:
+      break;  // flag set below, after the topology is built
+  }
+
+  net::VirtualNetwork vn(parents, sizes, link_sizes);
+  if (kind == AppKind::Gpu) {
+    // One randomly selected GPU VNF (virtual nodes 1..k).
+    const int gpu_vnf = static_cast<int>(rng.integer(1, k));
+    vn.vnode(gpu_vnf).gpu = true;
+  }
+  return net::Application{to_string(kind), std::move(vn)};
+}
+
+std::vector<net::Application> sample_application_set(
+    const std::vector<AppKind>& mix, const AppGenConfig& config, Rng& rng) {
+  OLIVE_REQUIRE(!mix.empty(), "application mix must be non-empty");
+  std::vector<net::Application> out;
+  out.reserve(mix.size());
+  int counter = 0;
+  for (const AppKind kind : mix) {
+    net::Application app = sample_application(kind, config, rng);
+    app.name += "_" + std::to_string(counter++);
+    out.push_back(std::move(app));
+  }
+  return out;
+}
+
+std::vector<AppKind> default_mix() {
+  return {AppKind::Chain, AppKind::Chain, AppKind::Tree, AppKind::Accelerator};
+}
+
+std::vector<AppKind> gpu_mix() {
+  return {AppKind::Gpu, AppKind::Gpu, AppKind::Gpu, AppKind::Gpu};
+}
+
+}  // namespace olive::workload

@@ -1,0 +1,50 @@
+// Application-instance sampler (paper §IV-A "Virtual network", Table III).
+//
+// Four application archetypes:
+//   chain        θ -> f1 -> ... -> fk
+//   tree         θ -> f1, then f1 forks into two branches
+//   accelerator  chain with one accelerator VNF that shrinks every
+//                downstream virtual link by 70% (the [33] application)
+//   gpu          chain with one randomly-placed GPU VNF that must sit on a
+//                GPU datacenter (Fig. 10 scenario)
+//
+// Per Table III: the VNF count is U(3,5) and element sizes are N(50, 30^2)
+// (truncated positive).  The default evaluation mix is 2 chains + 1 tree +
+// 1 accelerator, drawn fresh for every experiment repetition.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/vnet.hpp"
+#include "util/rng.hpp"
+
+namespace olive::workload {
+
+enum class AppKind { Chain, Tree, Accelerator, Gpu };
+
+const char* to_string(AppKind k) noexcept;
+
+struct AppGenConfig {
+  int min_vnfs = 3;              ///< U(3,5) VNFs per topology (Table III)
+  int max_vnfs = 5;
+  double element_size_mean = 50;  ///< N(50, 30^2) node and link sizes
+  double element_size_std = 30;
+  double accelerator_shrink = 0.7;  ///< downstream links shrink by 70%
+};
+
+/// Samples one application instance of the given kind.
+net::Application sample_application(AppKind kind, const AppGenConfig& config,
+                                    Rng& rng);
+
+/// Samples an application set from a mix of kinds (one instance per entry).
+std::vector<net::Application> sample_application_set(
+    const std::vector<AppKind>& mix, const AppGenConfig& config, Rng& rng);
+
+/// The paper's default evaluation mix: 2 chains, 1 tree, 1 accelerator.
+std::vector<AppKind> default_mix();
+
+/// The Fig. 10 mix: four GPU chains.
+std::vector<AppKind> gpu_mix();
+
+}  // namespace olive::workload

@@ -1,0 +1,40 @@
+// Synthetic CAIDA-like trace (paper §IV-A, second trace; Fig. 15).
+//
+// The paper derives its second workload from the 2019 CAIDA
+// "Equinix-NewYork" passive traces: requests are aggregated per IP source
+// and the grouped requests are randomly assigned to datacenters.  The real
+// traces are gated behind a data-usage agreement, so this module generates
+// the closest synthetic equivalent (see DESIGN.md "Substitutions"):
+//
+//  * per-source total volumes are heavy-tailed (Pareto, shape ~1.2 — the
+//    canonical fit for per-source Internet traffic volumes),
+//  * each source produces requests whose demand is proportional to its
+//    volume share (aggregation per source),
+//  * arrival intensity follows a smooth diurnal modulation with
+//    multiplicative noise rather than MMPP switching, giving the trace a
+//    temporal character distinct from the synthetic MMPP workload,
+//  * sources are assigned to edge datacenters uniformly at random, as in
+//    the paper's adaptation.
+#pragma once
+
+#include "workload/tracegen.hpp"
+
+namespace olive::workload {
+
+struct CaidaConfig {
+  int num_sources = 512;      ///< distinct "IP sources" after aggregation
+  double pareto_shape = 1.2;  ///< per-source volume tail index
+  double diurnal_amplitude = 0.35;  ///< peak-to-mean arrival modulation
+  double noise_std = 0.15;          ///< per-slot multiplicative noise
+  int diurnal_period = 1200;        ///< slots per diurnal cycle
+};
+
+/// Generates a CAIDA-like trace with the same request-field semantics as
+/// TraceGenerator::generate().  The mean arrival rate and demand scale are
+/// taken from `base` so that utilization calibration works identically.
+Trace generate_caida_trace(const net::SubstrateNetwork& substrate,
+                           const std::vector<net::Application>& apps,
+                           const TraceConfig& base, const CaidaConfig& caida,
+                           Rng& rng);
+
+}  // namespace olive::workload

@@ -1,0 +1,28 @@
+#include "workload/request.hpp"
+
+#include "util/error.hpp"
+
+namespace olive::workload {
+
+std::vector<const Request*> active_at(const Trace& trace, int t) {
+  std::vector<const Request*> out;
+  for (const Request& r : trace)
+    if (r.active_at(t)) out.push_back(&r);
+  return out;
+}
+
+void validate_trace(const Trace& trace, int num_nodes, int num_apps) {
+  int prev_arrival = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Request& r = trace[i];
+    OLIVE_REQUIRE(r.arrival >= prev_arrival, "trace must be arrival-sorted");
+    OLIVE_REQUIRE(r.duration >= 1, "request duration must be >= 1 slot");
+    OLIVE_REQUIRE(r.ingress >= 0 && r.ingress < num_nodes,
+                  "request ingress out of range");
+    OLIVE_REQUIRE(r.app >= 0 && r.app < num_apps, "request app out of range");
+    OLIVE_REQUIRE(r.demand > 0, "request demand must be positive");
+    prev_arrival = r.arrival;
+  }
+}
+
+}  // namespace olive::workload

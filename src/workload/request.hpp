@@ -1,0 +1,35 @@
+// Online embedding requests (paper Table I, "Requests").
+#pragma once
+
+#include <vector>
+
+#include "net/substrate.hpp"
+
+namespace olive::workload {
+
+struct Request {
+  int id = -1;
+  int arrival = 0;        ///< t(r), the arrival time slot
+  int duration = 1;       ///< T(r); active for arrival <= t < arrival+duration
+  net::NodeId ingress = -1;  ///< v(r), the user's datacenter
+  int app = -1;           ///< a(r), index into the run's application set
+  double demand = 0;      ///< d(r)
+
+  int departure() const noexcept { return arrival + duration; }
+  bool active_at(int t) const noexcept {
+    return arrival <= t && t < departure();
+  }
+};
+
+/// A trace: requests sorted by arrival slot (ties in id order, which is the
+/// processing order ON-VNE prescribes for equal arrival times).
+using Trace = std::vector<Request>;
+
+/// Requests of `trace` active at slot t (linear scan; used by tests and the
+/// per-slot SLOTOFF baseline via incremental bookkeeping instead).
+std::vector<const Request*> active_at(const Trace& trace, int t);
+
+/// Verifies ordering and field sanity; throws InvalidArgument on violation.
+void validate_trace(const Trace& trace, int num_nodes, int num_apps);
+
+}  // namespace olive::workload

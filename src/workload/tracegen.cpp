@@ -1,0 +1,116 @@
+#include "workload/tracegen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace olive::workload {
+
+TraceGenerator::TraceGenerator(const net::SubstrateNetwork& substrate,
+                               const std::vector<net::Application>& apps,
+                               TraceConfig config)
+    : substrate_(substrate), apps_(apps), config_(config) {
+  OLIVE_REQUIRE(!apps.empty(), "application set must be non-empty");
+  OLIVE_REQUIRE(config_.horizon >= config_.plan_slots,
+                "horizon must cover the plan period");
+  OLIVE_REQUIRE(config_.lambda_per_node > 0, "lambda must be positive");
+  edge_nodes_ = substrate.nodes_in_tier(net::Tier::Edge);
+  OLIVE_REQUIRE(!edge_nodes_.empty(), "substrate has no edge datacenters");
+  double total = 0;
+  for (const auto& a : apps_) total += a.topology.total_node_size();
+  mean_app_node_size_ = total / static_cast<double>(apps_.size());
+}
+
+Trace TraceGenerator::generate(Rng& rng) const {
+  Rng arrivals_rng = rng.fork(stable_hash("arrivals"));
+  Rng state_rng = rng.fork(stable_hash("mmpp-state"));
+  Rng pick_rng = rng.fork(stable_hash("ingress-app"));
+  Rng size_rng = rng.fork(stable_hash("demand-duration"));
+  Rng rank_rng = rng.fork(stable_hash("popularity"));
+
+  // Fixed Zipf popularity ranking over the edge datacenters for this trace:
+  // a random permutation assigns which node gets which popularity rank.
+  std::vector<net::NodeId> ranked = edge_nodes_;
+  for (std::size_t i = ranked.size(); i > 1; --i)
+    std::swap(ranked[i - 1], ranked[rank_rng.below(i)]);
+  const ZipfSampler zipf(ranked.size(), config_.zipf_alpha);
+
+  const double lambda_total =
+      config_.lambda_per_node * substrate_.num_nodes();
+  bool high_state = state_rng.chance(0.5);
+
+  Trace trace;
+  int next_id = 0;
+  for (int t = 0; t < config_.horizon; ++t) {
+    // MMPP state transition, then Poisson arrivals at the state's rate.
+    const double flip_p = high_state ? config_.mmpp.p_high_to_low
+                                     : config_.mmpp.p_low_to_high;
+    if (state_rng.chance(flip_p)) high_state = !high_state;
+    const double rate = lambda_total * (high_state
+                                            ? config_.mmpp.high_rate_factor
+                                            : config_.mmpp.low_rate_factor);
+    const std::uint64_t count = sample_poisson(arrivals_rng, rate);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      Request r;
+      r.id = next_id++;
+      r.arrival = t;
+      r.ingress = ranked[zipf(pick_rng)];
+      r.app = static_cast<int>(pick_rng.below(apps_.size()));
+      r.demand = sample_truncated_normal(size_rng, config_.demand_mean,
+                                         config_.demand_std, 0.1);
+      r.duration = std::max(
+          1, static_cast<int>(
+                 std::lround(sample_exponential(size_rng, config_.duration_mean))));
+      trace.push_back(r);
+    }
+  }
+  return trace;
+}
+
+std::pair<Trace, Trace> TraceGenerator::split_history(const Trace& trace) const {
+  Trace hist, online;
+  for (const Request& r : trace) {
+    (r.arrival < config_.plan_slots ? hist : online).push_back(r);
+  }
+  return {std::move(hist), std::move(online)};
+}
+
+double utilization_to_demand_mean(const net::SubstrateNetwork& substrate,
+                                  const std::vector<net::Application>& apps,
+                                  const TraceConfig& config,
+                                  double utilization) {
+  OLIVE_REQUIRE(utilization > 0, "utilization must be positive");
+  OLIVE_REQUIRE(!apps.empty(), "application set must be non-empty");
+  // Little's law: E[#active] = λ_total · E[T].  Each active request holds
+  // demand · Σβ_nodes resources in expectation.
+  const double edge_cap =
+      substrate.total_capacity_in_tier(net::Tier::Edge);
+  double mean_size = 0;
+  for (const auto& a : apps) mean_size += a.topology.total_node_size();
+  mean_size /= static_cast<double>(apps.size());
+  const double active =
+      config.lambda_per_node * substrate.num_nodes() * config.duration_mean;
+  OLIVE_REQUIRE(active > 0 && mean_size > 0, "degenerate workload parameters");
+  return utilization * edge_cap / (active * mean_size);
+}
+
+double measured_utilization(const net::SubstrateNetwork& substrate,
+                            const std::vector<net::Application>& apps,
+                            const Trace& trace, int horizon) {
+  OLIVE_REQUIRE(horizon > 0, "horizon must be positive");
+  const double edge_cap = substrate.total_capacity_in_tier(net::Tier::Edge);
+  OLIVE_REQUIRE(edge_cap > 0, "substrate has no edge capacity");
+  // Sum of (active size) over slots == Σ_r duration·demand·Σβ; divide by
+  // horizon to get the time-average.
+  double area = 0;
+  for (const Request& r : trace) {
+    const double node_size = apps.at(r.app).topology.total_node_size();
+    const int end = std::min(r.departure(), horizon);
+    const int span = std::max(0, end - r.arrival);
+    area += r.demand * node_size * span;
+  }
+  return area / (static_cast<double>(horizon) * edge_cap);
+}
+
+}  // namespace olive::workload

@@ -1,0 +1,81 @@
+// Synthetic trace generation (paper §IV-A "Traces", Table III).
+//
+// The primary trace is a Markov-modulated Poisson process (MMPP): arrivals
+// alternate between a high-rate and a low-rate state with Markov
+// transitions, capturing bursty edge demand.  Mean rate is λ per substrate
+// node per slot (10 by default); requests originate exclusively from edge
+// datacenters, picked by a Zipf(α=1) popularity ranking.
+//
+// "Edge utilization" is defined as in the paper: 100% when the mean total
+// size of active requests (demand × Σ virtual-node sizes) equals the total
+// capacity of all edge datacenters.  utilization_to_demand_mean() inverts
+// that definition to calibrate the mean request demand for a target
+// utilization (the paper sweeps 60%–140% by scaling mean demand).
+#pragma once
+
+#include <vector>
+
+#include "net/substrate.hpp"
+#include "net/vnet.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+#include "workload/request.hpp"
+
+namespace olive::workload {
+
+struct MmppParams {
+  double high_rate_factor = 1.6;  ///< λ_h = factor · λ
+  double low_rate_factor = 0.4;   ///< λ_l = factor · λ  (mean stays λ)
+  double p_high_to_low = 0.1;     ///< per-slot transition probabilities
+  double p_low_to_high = 0.1;
+};
+
+struct TraceConfig {
+  int horizon = 6000;        ///< total slots; first plan_slots form R_HIST
+  int plan_slots = 5400;
+  double lambda_per_node = 10.0;  ///< mean requests per slot per node
+  double demand_mean = 10.0;      ///< N(demand_mean, demand_std^2)
+  double demand_std = 4.0;
+  double duration_mean = 10.0;    ///< exponential, in slots
+  double zipf_alpha = 1.0;        ///< edge-node popularity
+  MmppParams mmpp;
+};
+
+class TraceGenerator {
+ public:
+  TraceGenerator(const net::SubstrateNetwork& substrate,
+                 const std::vector<net::Application>& apps, TraceConfig config);
+
+  /// Generates the full trace over [0, horizon).  Deterministic in `rng`.
+  Trace generate(Rng& rng) const;
+
+  /// Splits a trace at plan_slots: requests arriving before the boundary
+  /// form the history R_HIST, the rest the online test period.
+  std::pair<Trace, Trace> split_history(const Trace& trace) const;
+
+  const TraceConfig& config() const noexcept { return config_; }
+  const std::vector<net::NodeId>& edge_nodes() const noexcept {
+    return edge_nodes_;
+  }
+
+ private:
+  const net::SubstrateNetwork& substrate_;
+  const std::vector<net::Application>& apps_;
+  TraceConfig config_;
+  std::vector<net::NodeId> edge_nodes_;
+  double mean_app_node_size_ = 0;
+};
+
+/// Mean request demand that produces the target edge utilization u
+/// (u = 1.0 is 100%): mean active request size == u · total edge capacity.
+double utilization_to_demand_mean(const net::SubstrateNetwork& substrate,
+                                  const std::vector<net::Application>& apps,
+                                  const TraceConfig& config, double utilization);
+
+/// The realized utilization of a trace (mean active size / edge capacity),
+/// for tests and experiment reporting.
+double measured_utilization(const net::SubstrateNetwork& substrate,
+                            const std::vector<net::Application>& apps,
+                            const Trace& trace, int horizon);
+
+}  // namespace olive::workload

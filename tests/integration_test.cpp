@@ -1,0 +1,136 @@
+// End-to-end integration tests: full scenario pipeline (topology ->
+// workload -> aggregation -> PLAN-VNE -> online run) on a scaled-down
+// version of the paper's setup, verifying the headline qualitative results
+// and cross-algorithm invariants.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "stats/stats.hpp"
+
+namespace olive::core {
+namespace {
+
+/// Scaled-down Citta Studi scenario that still produces contention.
+ScenarioConfig small_scenario(double utilization) {
+  ScenarioConfig cfg;
+  cfg.topology = "CittaStudi";
+  cfg.utilization = utilization;
+  cfg.seed = 2024;
+  cfg.trace.horizon = 360;
+  cfg.trace.plan_slots = 300;
+  cfg.trace.lambda_per_node = 2.0;  // keep runtime test-friendly
+  cfg.sim.measure_from = 10;
+  cfg.sim.measure_to = 50;
+  cfg.plan.max_rounds = 25;
+  return cfg;
+}
+
+TEST(Integration, ScenarioPipelineProducesConsistentPlan) {
+  const Scenario sc = build_scenario(small_scenario(1.0));
+  EXPECT_EQ(sc.substrate.num_nodes(), 30);
+  EXPECT_EQ(sc.apps.size(), 4u);
+  EXPECT_FALSE(sc.history.empty());
+  EXPECT_FALSE(sc.online.empty());
+  EXPECT_FALSE(sc.aggregates.empty());
+  EXPECT_FALSE(sc.plan.empty_plan());
+
+  // Plan classes only for classes present in history; planned load within
+  // substrate capacity.
+  std::vector<double> load(sc.substrate.element_count(), 0.0);
+  for (const auto& pc : sc.plan.classes()) {
+    EXPECT_NEAR(pc.accepted_fraction() + pc.rejected_fraction(), 1.0, 1e-6);
+    for (const auto& col : pc.columns)
+      for (const auto& [elem, amt] : col.usage)
+        load[elem] += col.fraction * pc.aggregate.demand * amt;
+  }
+  for (int e = 0; e < sc.substrate.element_count(); ++e)
+    EXPECT_LE(load[e], sc.substrate.element_capacity(e) * (1 + 1e-6));
+}
+
+TEST(Integration, OliveBeatsQuickGUnderOverload) {
+  // At 140% utilization the paper's headline result: OLIVE rejects
+  // significantly less than QUICKG.
+  const Scenario sc = build_scenario(small_scenario(1.4));
+  const auto olive = run_algorithm(sc, "OLIVE");
+  const auto quickg = run_algorithm(sc, "QuickG");
+  ASSERT_GT(olive.offered, 100);
+  EXPECT_EQ(olive.offered, quickg.offered);
+  EXPECT_LE(olive.rejection_rate(), quickg.rejection_rate() + 0.02);
+  // And the cost advantage should hold as well.
+  EXPECT_LE(olive.total_cost(), quickg.total_cost() * 1.10);
+}
+
+TEST(Integration, LowUtilizationAcceptsAlmostEverything) {
+  const Scenario sc = build_scenario(small_scenario(0.3));
+  const auto olive = run_algorithm(sc, "OLIVE");
+  EXPECT_LT(olive.rejection_rate(), 0.05);
+}
+
+TEST(Integration, RunsAreDeterministic) {
+  const Scenario a = build_scenario(small_scenario(1.0));
+  const Scenario b = build_scenario(small_scenario(1.0));
+  const auto ma = run_algorithm(a, "OLIVE");
+  const auto mb = run_algorithm(b, "OLIVE");
+  EXPECT_EQ(ma.offered, mb.offered);
+  EXPECT_EQ(ma.rejected, mb.rejected);
+  EXPECT_EQ(ma.preempted, mb.preempted);
+  EXPECT_DOUBLE_EQ(ma.resource_cost, mb.resource_cost);
+}
+
+TEST(Integration, RepetitionsDiffer) {
+  const ScenarioConfig cfg = small_scenario(1.0);
+  const Scenario r0 = build_scenario(cfg, 0);
+  const Scenario r1 = build_scenario(cfg, 1);
+  // Different repetitions draw different applications and traces.
+  EXPECT_NE(r0.online.size(), r1.online.size());
+}
+
+TEST(Integration, GpuScenarioEndToEnd) {
+  ScenarioConfig cfg = small_scenario(1.0);
+  cfg.gpu_variant = true;
+  cfg.mix = workload::gpu_mix();
+  const Scenario sc = build_scenario(cfg);
+  // The GPU variant marks some nodes and the apps carry GPU VNFs.
+  int gpu_nodes = 0;
+  for (net::NodeId v = 0; v < sc.substrate.num_nodes(); ++v)
+    gpu_nodes += sc.substrate.node(v).gpu;
+  EXPECT_GT(gpu_nodes, 0);
+  for (const auto& app : sc.apps) EXPECT_TRUE(app.topology.has_gpu_vnf());
+
+  const auto olive = run_algorithm(sc, "OLIVE");
+  // OLIVE can place GPU chains via plan columns (split placements).
+  EXPECT_GT(olive.offered, 0);
+  EXPECT_LT(olive.rejection_rate(), 1.0);
+}
+
+TEST(Integration, BalanceIndexComputableFromMetrics) {
+  const Scenario sc = build_scenario(small_scenario(1.4));
+  const auto m = run_algorithm(sc, "OLIVE");
+  const double idx =
+      stats::rejection_balance_index(m.rejected_by_node_app, m.requests_by_node);
+  EXPECT_GE(idx, 0.0);
+  EXPECT_LE(idx, 1.0 + 1e-9);
+}
+
+TEST(Integration, ShiftedPlanStillBeatsNothing) {
+  ScenarioConfig cfg = small_scenario(1.2);
+  cfg.shuffle_plan_ingress = true;
+  const Scenario shifted = build_scenario(cfg);
+  const auto olive = run_algorithm(shifted, "OLIVE");
+  const auto quickg = run_algorithm(shifted, "QuickG");
+  // Fig. 14's claim: even with a spatially wrong plan, OLIVE is never worse
+  // than QUICKG (allow a small statistical slack on this single run).
+  EXPECT_LE(olive.rejection_rate(), quickg.rejection_rate() + 0.05);
+}
+
+TEST(Integration, PlanUtilizationMismatchSupported) {
+  ScenarioConfig cfg = small_scenario(1.4);
+  cfg.plan_utilization = 0.6;  // Fig. 13: plan for 60%, observe 140%
+  const Scenario sc = build_scenario(cfg);
+  EXPECT_FALSE(sc.plan.empty_plan());
+  const auto olive = run_algorithm(sc, "OLIVE");
+  EXPECT_GT(olive.offered, 0);
+}
+
+}  // namespace
+}  // namespace olive::core

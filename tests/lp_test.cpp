@@ -1,0 +1,327 @@
+// Unit tests for the LP substrate: model building, simplex on LPs with known
+// optima (bounds, equalities, degeneracy, infeasibility, unboundedness),
+// dual values, warm-started column generation, and branch & bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/mip.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "util/error.hpp"
+
+namespace olive::lp {
+namespace {
+
+TEST(Model, BuildAndQuery) {
+  Model m;
+  const int x = m.add_col(0, 10, 3.0);
+  const int y = m.add_col(-1, kInf, -2.0);
+  const int r = m.add_row(Sense::LE, 7.0);
+  m.add_entry(r, x, 1.0);
+  m.add_entry(r, y, 2.0);
+  EXPECT_EQ(m.num_cols(), 2);
+  EXPECT_EQ(m.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(m.col_cost(y), -2.0);
+  EXPECT_DOUBLE_EQ(m.row_rhs(r), 7.0);
+  EXPECT_EQ(m.col(x).size(), 1u);
+}
+
+TEST(Model, DuplicateEntriesAccumulate) {
+  Model m;
+  const int x = m.add_col(0, 1, 1.0);
+  const int r = m.add_row(Sense::EQ, 1.0);
+  m.add_entry(r, x, 0.5);
+  m.add_entry(r, x, 0.25);
+  ASSERT_EQ(m.col(x).size(), 1u);
+  EXPECT_DOUBLE_EQ(m.col(x)[0].second, 0.75);
+}
+
+TEST(Model, ObjectiveAndViolation) {
+  Model m;
+  const int x = m.add_col(0, 5, 2.0);
+  const int r = m.add_row(Sense::LE, 3.0);
+  m.add_entry(r, x, 1.0);
+  EXPECT_DOUBLE_EQ(m.objective_value({2.0}), 4.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({4.0}), 1.0);   // row violated by 1
+  EXPECT_DOUBLE_EQ(m.max_violation({-1.0}), 1.0);  // bound violated by 1
+}
+
+TEST(Model, RejectsBadBounds) {
+  Model m;
+  EXPECT_THROW(m.add_col(2, 1, 0.0), InvalidArgument);
+}
+
+// min -x - 2y  s.t.  x + y <= 4, x <= 3, y <= 2, x,y >= 0.
+// Optimum at (2, 2) with objective -6.
+TEST(Simplex, SmallTwoVarLp) {
+  Model m;
+  const int x = m.add_col(0, 3, -1.0);
+  const int y = m.add_col(0, 2, -2.0);
+  const int r = m.add_row(Sense::LE, 4.0);
+  m.add_entry(r, x, 1.0);
+  m.add_entry(r, y, 1.0);
+  const auto res = solve_lp(m);
+  ASSERT_EQ(res.status, Status::Optimal);
+  EXPECT_NEAR(res.objective, -6.0, 1e-9);
+  EXPECT_NEAR(res.x[x], 2.0, 1e-9);
+  EXPECT_NEAR(res.x[y], 2.0, 1e-9);
+}
+
+// Equality constraints require phase-1 artificials.
+// min x + y  s.t.  x + y = 5, x - y = 1  ->  x=3, y=2, obj 5.
+TEST(Simplex, EqualityRowsViaPhase1) {
+  Model m;
+  const int x = m.add_col(0, kInf, 1.0);
+  const int y = m.add_col(0, kInf, 1.0);
+  int r1 = m.add_row(Sense::EQ, 5.0);
+  int r2 = m.add_row(Sense::EQ, 1.0);
+  m.add_entry(r1, x, 1.0);
+  m.add_entry(r1, y, 1.0);
+  m.add_entry(r2, x, 1.0);
+  m.add_entry(r2, y, -1.0);
+  const auto res = solve_lp(m);
+  ASSERT_EQ(res.status, Status::Optimal);
+  EXPECT_NEAR(res.x[x], 3.0, 1e-8);
+  EXPECT_NEAR(res.x[y], 2.0, 1e-8);
+  EXPECT_NEAR(res.objective, 5.0, 1e-8);
+}
+
+TEST(Simplex, GreaterEqualRows) {
+  // min 2x + 3y  s.t.  x + y >= 4, x >= 0, y >= 0  ->  x=4, obj 8.
+  Model m;
+  const int x = m.add_col(0, kInf, 2.0);
+  const int y = m.add_col(0, kInf, 3.0);
+  const int r = m.add_row(Sense::GE, 4.0);
+  m.add_entry(r, x, 1.0);
+  m.add_entry(r, y, 1.0);
+  const auto res = solve_lp(m);
+  ASSERT_EQ(res.status, Status::Optimal);
+  EXPECT_NEAR(res.objective, 8.0, 1e-9);
+  EXPECT_NEAR(res.x[x], 4.0, 1e-9);
+}
+
+TEST(Simplex, UpperBoundedVariableSitsAtBound) {
+  // min -x  s.t.  x <= 2 (bound), row x <= 10 slackly.
+  Model m;
+  const int x = m.add_col(0, 2, -1.0);
+  const int r = m.add_row(Sense::LE, 10.0);
+  m.add_entry(r, x, 1.0);
+  const auto res = solve_lp(m);
+  ASSERT_EQ(res.status, Status::Optimal);
+  EXPECT_NEAR(res.x[x], 2.0, 1e-9);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x  s.t.  x >= -5 (bound), x + 3 >= 0 row -> x >= -3.
+  Model m;
+  const int x = m.add_col(-5, kInf, 1.0);
+  const int r = m.add_row(Sense::GE, -3.0);
+  m.add_entry(r, x, 1.0);
+  const auto res = solve_lp(m);
+  ASSERT_EQ(res.status, Status::Optimal);
+  EXPECT_NEAR(res.x[x], -3.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  // x <= 1 and x >= 2 simultaneously.
+  Model m;
+  const int x = m.add_col(0, kInf, 1.0);
+  int r1 = m.add_row(Sense::LE, 1.0);
+  int r2 = m.add_row(Sense::GE, 2.0);
+  m.add_entry(r1, x, 1.0);
+  m.add_entry(r2, x, 1.0);
+  EXPECT_EQ(solve_lp(m).status, Status::Infeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x with x unbounded above.
+  Model m;
+  const int x = m.add_col(0, kInf, -1.0);
+  const int r = m.add_row(Sense::GE, 0.0);
+  m.add_entry(r, x, 1.0);
+  EXPECT_EQ(solve_lp(m).status, Status::Unbounded);
+}
+
+TEST(Simplex, FixedVariableRespected) {
+  // x fixed to 3 via bounds; min x + y with y >= 0 and x + y >= 5.
+  Model m;
+  const int x = m.add_col(3, 3, 1.0);
+  const int y = m.add_col(0, kInf, 1.0);
+  const int r = m.add_row(Sense::GE, 5.0);
+  m.add_entry(r, x, 1.0);
+  m.add_entry(r, y, 1.0);
+  const auto res = solve_lp(m);
+  ASSERT_EQ(res.status, Status::Optimal);
+  EXPECT_NEAR(res.x[x], 3.0, 1e-9);
+  EXPECT_NEAR(res.x[y], 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateLpTerminates) {
+  // Many redundant constraints through the same vertex.
+  Model m;
+  const int x = m.add_col(0, kInf, -1.0);
+  const int y = m.add_col(0, kInf, -1.0);
+  for (int k = 1; k <= 6; ++k) {
+    const int r = m.add_row(Sense::LE, 2.0 * k);
+    m.add_entry(r, x, static_cast<double>(k));
+    m.add_entry(r, y, static_cast<double>(k));
+  }
+  const auto res = solve_lp(m);
+  ASSERT_EQ(res.status, Status::Optimal);
+  EXPECT_NEAR(res.objective, -2.0, 1e-8);
+}
+
+TEST(Simplex, DualsPriceTheBindingRow) {
+  // min -x, x + y <= 4, x,y in [0,10].  Optimal x=4.  The row dual must be
+  // -1 (relaxing the row by 1 improves the objective by 1).
+  Model m;
+  const int x = m.add_col(0, 10, -1.0);
+  const int y = m.add_col(0, 10, 0.0);
+  const int r = m.add_row(Sense::LE, 4.0);
+  m.add_entry(r, x, 1.0);
+  m.add_entry(r, y, 1.0);
+  const auto res = solve_lp(m);
+  ASSERT_EQ(res.status, Status::Optimal);
+  ASSERT_EQ(res.duals.size(), 1u);
+  EXPECT_NEAR(res.duals[0], -1.0, 1e-9);
+}
+
+TEST(Simplex, ColumnGenerationWarmStart) {
+  // Start with an expensive column, then add a cheaper one and resolve.
+  Model m;
+  const int expensive = m.add_col(0, kInf, 10.0);
+  const int demand = m.add_row(Sense::GE, 3.0);
+  m.add_entry(demand, expensive, 1.0);
+
+  Simplex solver(m);
+  auto res = solver.solve();
+  ASSERT_EQ(res.status, Status::Optimal);
+  EXPECT_NEAR(res.objective, 30.0, 1e-9);
+
+  const int cheap = solver.add_column(0, kInf, 1.0, {{demand, 1.0}});
+  res = solver.resolve();
+  ASSERT_EQ(res.status, Status::Optimal);
+  EXPECT_NEAR(res.objective, 3.0, 1e-9);
+  EXPECT_NEAR(res.x[cheap], 3.0, 1e-9);
+  EXPECT_NEAR(res.x[expensive], 0.0, 1e-9);
+}
+
+TEST(Simplex, RepeatedColumnAdditionConverges) {
+  // Columns of decreasing cost; each resolve must pick up the newcomer.
+  Model m;
+  const int row = m.add_row(Sense::EQ, 1.0);
+  (void)row;
+  Model m2 = m;  // model with only the row
+  Simplex solver(m2);
+  double expected = kInf;
+  for (int k = 0; k < 8; ++k) {
+    const double cost = 10.0 - k;
+    solver.add_column(0, 1, cost, {{0, 1.0}});
+    const auto res = (k == 0) ? solver.solve() : solver.resolve();
+    ASSERT_EQ(res.status, Status::Optimal) << "iteration " << k;
+    expected = std::min(expected, cost);
+    EXPECT_NEAR(res.objective, expected, 1e-9) << "iteration " << k;
+  }
+}
+
+TEST(Simplex, RejectsFreeVariables) {
+  Model m;
+  m.add_col(-kInf, kInf, 1.0);
+  m.add_row(Sense::LE, 1.0);
+  EXPECT_THROW(Simplex{m}, InvalidArgument);
+}
+
+TEST(Simplex, EmptyFeasibleRegionSingleRow) {
+  // 0 <= x <= 1, row 2x = 5 infeasible.
+  Model m;
+  const int x = m.add_col(0, 1, 1.0);
+  const int r = m.add_row(Sense::EQ, 5.0);
+  m.add_entry(r, x, 2.0);
+  EXPECT_EQ(solve_lp(m).status, Status::Infeasible);
+}
+
+TEST(Mip, KnapsackBinary) {
+  // max 5a + 4b + 3c st 2a + 3b + c <= 4  (minimize the negation).
+  Model m;
+  const int a = m.add_col(0, 1, -5.0);
+  const int b = m.add_col(0, 1, -4.0);
+  const int c = m.add_col(0, 1, -3.0);
+  const int r = m.add_row(Sense::LE, 4.0);
+  m.add_entry(r, a, 2.0);
+  m.add_entry(r, b, 3.0);
+  m.add_entry(r, c, 1.0);
+  const auto res = solve_mip(m, {a, b, c});
+  ASSERT_EQ(res.status, Status::Optimal);
+  EXPECT_TRUE(res.proven_optimal);
+  EXPECT_NEAR(res.objective, -8.0, 1e-9);  // a=1, c=1, b=0 -> wait: 2+1 <= 4, 5+3=8
+  EXPECT_NEAR(res.x[a], 1.0, 1e-9);
+  EXPECT_NEAR(res.x[b], 0.0, 1e-9);
+  EXPECT_NEAR(res.x[c], 1.0, 1e-9);
+}
+
+TEST(Mip, IntegerGeneralBounds) {
+  // min -x st x <= 3.7, x integer in [0, 10] -> x = 3.
+  Model m;
+  const int x = m.add_col(0, 10, -1.0);
+  const int r = m.add_row(Sense::LE, 3.7);
+  m.add_entry(r, x, 1.0);
+  const auto res = solve_mip(m, {x});
+  ASSERT_EQ(res.status, Status::Optimal);
+  EXPECT_NEAR(res.x[x], 3.0, 1e-9);
+}
+
+TEST(Mip, InfeasibleIntegerProblem) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  Model m;
+  const int x = m.add_col(0.4, 0.6, 1.0);
+  const int r = m.add_row(Sense::LE, 1.0);
+  m.add_entry(r, x, 1.0);
+  const auto res = solve_mip(m, {x});
+  EXPECT_EQ(res.status, Status::Infeasible);
+}
+
+TEST(Mip, MixedIntegerContinuous) {
+  // min -x - 10y, x continuous in [0, 1.5], y binary, x + y <= 2.
+  // y=1, x=1 -> -11.  (x limited by its own bound 1.5 -> actually x=1? no:
+  // x + y <= 2 with y=1 gives x <= 1; bound is 1.5, so x=1 -> obj -11.)
+  Model m;
+  const int x = m.add_col(0, 1.5, -1.0);
+  const int y = m.add_col(0, 1, -10.0);
+  const int r = m.add_row(Sense::LE, 2.0);
+  m.add_entry(r, x, 1.0);
+  m.add_entry(r, y, 1.0);
+  const auto res = solve_mip(m, {y});
+  ASSERT_EQ(res.status, Status::Optimal);
+  EXPECT_NEAR(res.objective, -11.0, 1e-9);
+  EXPECT_NEAR(res.x[y], 1.0, 1e-9);
+  EXPECT_NEAR(res.x[x], 1.0, 1e-9);
+}
+
+TEST(Mip, NodeBudgetReturnsIncumbent) {
+  // A problem the solver can begin but not finish in one node still returns
+  // the best incumbent found so far with IterationLimit status.
+  Model m;
+  std::vector<int> ints;
+  const int r = m.add_row(Sense::LE, 7.0);
+  for (int i = 0; i < 10; ++i) {
+    const int c = m.add_col(0, 1, -(1.0 + 0.1 * i));
+    m.add_entry(r, c, 2.0);
+    ints.push_back(c);
+  }
+  MipOptions opts;
+  opts.max_nodes = 2;
+  const auto res = solve_mip(m, ints, opts);
+  EXPECT_EQ(res.status, Status::IterationLimit);
+  EXPECT_FALSE(res.proven_optimal);
+}
+
+TEST(Mip, RejectsBadIntegerIndex) {
+  Model m;
+  m.add_col(0, 1, 1.0);
+  EXPECT_THROW(solve_mip(m, {5}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace olive::lp

@@ -1,0 +1,214 @@
+// Unit tests for the net substrate: substrate graph invariants, virtual
+// network trees, embeddings and their load accounting (Eq. 1), eta-based
+// placement rules, and shortest paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/embedding.hpp"
+#include "net/paths.hpp"
+#include "net/substrate.hpp"
+#include "net/vnet.hpp"
+#include "util/error.hpp"
+
+namespace olive::net {
+namespace {
+
+SubstrateNetwork line_network(int n, double node_cap = 100, double link_cap = 50) {
+  SubstrateNetwork s;
+  for (int i = 0; i < n; ++i)
+    s.add_node({"n" + std::to_string(i), Tier::Edge, node_cap, 1.0, false});
+  for (int i = 0; i + 1 < n; ++i) s.add_link(i, i + 1, link_cap, 1.0);
+  return s;
+}
+
+TEST(Substrate, BuildAndAdjacency) {
+  SubstrateNetwork s = line_network(3);
+  EXPECT_EQ(s.num_nodes(), 3);
+  EXPECT_EQ(s.num_links(), 2);
+  EXPECT_EQ(s.adjacency(1).size(), 2u);
+  EXPECT_EQ(s.find_link(0, 1), 0);
+  EXPECT_EQ(s.find_link(1, 0), 0);
+  EXPECT_EQ(s.find_link(0, 2), -1);
+}
+
+TEST(Substrate, RejectsSelfLoopAndDuplicates) {
+  SubstrateNetwork s = line_network(2);
+  EXPECT_THROW(s.add_link(0, 0, 1, 1), InvalidArgument);
+  EXPECT_THROW(s.add_link(0, 1, 1, 1), InvalidArgument);
+  EXPECT_THROW(s.add_link(0, 7, 1, 1), InvalidArgument);
+}
+
+TEST(Substrate, ElementIndexing) {
+  SubstrateNetwork s = line_network(3, 100, 50);
+  EXPECT_EQ(s.element_count(), 5);
+  EXPECT_TRUE(s.element_is_node(2));
+  EXPECT_FALSE(s.element_is_node(3));
+  EXPECT_DOUBLE_EQ(s.element_capacity(s.node_element(1)), 100);
+  EXPECT_DOUBLE_EQ(s.element_capacity(s.link_element(0)), 50);
+  EXPECT_EQ(s.element_name(s.link_element(1)), "n1-n2");
+}
+
+TEST(Substrate, TierQueries) {
+  SubstrateNetwork s;
+  s.add_node({"e", Tier::Edge, 10, 1, false});
+  s.add_node({"t", Tier::Transport, 20, 1, false});
+  s.add_node({"c", Tier::Core, 30, 1, false});
+  s.add_link(0, 1, 5, 1);
+  s.add_link(1, 2, 5, 1);
+  EXPECT_EQ(s.nodes_in_tier(Tier::Edge), std::vector<NodeId>{0});
+  EXPECT_DOUBLE_EQ(s.total_capacity_in_tier(Tier::Core), 30);
+}
+
+TEST(Substrate, ConnectivityValidation) {
+  SubstrateNetwork s = line_network(3);
+  EXPECT_TRUE(s.is_connected());
+  EXPECT_NO_THROW(s.validate());
+  s.add_node({"isolated", Tier::Edge, 1, 1, false});
+  EXPECT_FALSE(s.is_connected());
+  EXPECT_THROW(s.validate(), InvalidArgument);
+}
+
+TEST(Vnet, ChainStructure) {
+  const auto vn = VirtualNetwork::chain({10, 20, 30}, {1, 2, 3});
+  EXPECT_EQ(vn.num_nodes(), 4);  // θ + 3 VNFs
+  EXPECT_EQ(vn.num_links(), 3);
+  EXPECT_DOUBLE_EQ(vn.vnode(0).size, 0);  // θ has no size
+  EXPECT_DOUBLE_EQ(vn.vnode(3).size, 30);
+  EXPECT_EQ(vn.parent(3), 2);
+  EXPECT_EQ(vn.children(1), std::vector<int>{2});
+  EXPECT_DOUBLE_EQ(vn.total_node_size(), 60);
+  EXPECT_DOUBLE_EQ(vn.total_link_size(), 6);
+}
+
+TEST(Vnet, TreeStructureAndPreorder) {
+  // θ -> 1, 1 -> {2, 3}
+  const VirtualNetwork vn({0, 1, 1}, {5, 6, 7}, {1, 1, 1});
+  EXPECT_EQ(vn.children(1).size(), 2u);
+  const auto& order = vn.preorder();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);  // parent before children
+}
+
+TEST(Vnet, RejectsNonTreeParents) {
+  EXPECT_THROW(VirtualNetwork({1}, {5}, {1}), InvalidArgument);  // fwd ref
+  EXPECT_THROW(VirtualNetwork({-1}, {5}, {1}), InvalidArgument);
+  EXPECT_THROW(VirtualNetwork({0}, {-5}, {1}), InvalidArgument);
+}
+
+TEST(Eta, GpuPlacementRules) {
+  SubstrateNetwork s = line_network(2);
+  s.node(1).gpu = true;
+  auto vn = VirtualNetwork::chain({10}, {1});
+  vn.vnode(1).gpu = true;
+  EXPECT_TRUE(std::isinf(eta(s, vn, 1, 0)));   // GPU VNF on plain node
+  EXPECT_DOUBLE_EQ(eta(s, vn, 1, 1), 1.0);     // GPU VNF on GPU node
+  vn.vnode(1).gpu = false;
+  EXPECT_TRUE(std::isinf(eta(s, vn, 1, 1)));   // plain VNF on GPU node
+  EXPECT_TRUE(placement_allowed(s, vn, 1, 0));
+  EXPECT_FALSE(placement_allowed(s, vn, 1, 1));
+  // θ may sit anywhere.
+  EXPECT_DOUBLE_EQ(eta(s, vn, 0, 1), 1.0);
+}
+
+TEST(Embedding, UnitUsageAggregatesPerElement) {
+  SubstrateNetwork s = line_network(3);
+  const auto vn = VirtualNetwork::chain({10, 20}, {4, 6});
+  // θ at node 0; both VNFs on node 1; vlink0 over link 0; vlink1 collocated.
+  Embedding e;
+  e.node_map = {0, 1, 1};
+  e.link_paths = {{0}, {}};
+  ASSERT_TRUE(is_valid_embedding(s, vn, e));
+  const auto usage = unit_usage(s, vn, e);
+  // node 1: 10+20 = 30;  link 0: 4.
+  ASSERT_EQ(usage.size(), 2u);
+  EXPECT_EQ(usage[0].first, s.node_element(1));
+  EXPECT_DOUBLE_EQ(usage[0].second, 30);
+  EXPECT_EQ(usage[1].first, s.link_element(0));
+  EXPECT_DOUBLE_EQ(usage[1].second, 4);
+  // cost: all unit costs are 1 -> 34 per unit demand.
+  EXPECT_DOUBLE_EQ(unit_cost(s, vn, e), 34);
+}
+
+TEST(Embedding, MultiHopPathUsage) {
+  SubstrateNetwork s = line_network(4);
+  const auto vn = VirtualNetwork::chain({10}, {5});
+  Embedding e;
+  e.node_map = {0, 3};
+  e.link_paths = {{0, 1, 2}};
+  ASSERT_TRUE(is_valid_embedding(s, vn, e));
+  const auto usage = unit_usage(s, vn, e);
+  ASSERT_EQ(usage.size(), 4u);  // node 3 + three links
+  for (LinkId l = 0; l < 3; ++l)
+    EXPECT_DOUBLE_EQ(usage[static_cast<std::size_t>(l) + 1].second, 5);
+}
+
+TEST(Embedding, ValidityCatchesBrokenPaths) {
+  SubstrateNetwork s = line_network(4);
+  const auto vn = VirtualNetwork::chain({10}, {5});
+  Embedding e;
+  e.node_map = {0, 3};
+  e.link_paths = {{0, 2}};  // gap: link 2 doesn't touch node 1
+  EXPECT_FALSE(is_valid_embedding(s, vn, e));
+  e.link_paths = {{0, 1}};  // ends at node 2, not 3
+  EXPECT_FALSE(is_valid_embedding(s, vn, e));
+  e.link_paths = {{0, 1, 2}};
+  EXPECT_TRUE(is_valid_embedding(s, vn, e));
+  e.node_map = {0, 9};  // out of range
+  EXPECT_FALSE(is_valid_embedding(s, vn, e));
+}
+
+TEST(Embedding, ValidityChecksGpuPlacement) {
+  SubstrateNetwork s = line_network(2);
+  auto vn = VirtualNetwork::chain({10}, {5});
+  vn.vnode(1).gpu = true;
+  Embedding e;
+  e.node_map = {0, 1};
+  e.link_paths = {{0}};
+  EXPECT_FALSE(is_valid_embedding(s, vn, e));  // node 1 is not GPU
+  s.node(1).gpu = true;
+  EXPECT_TRUE(is_valid_embedding(s, vn, e));
+}
+
+TEST(Paths, DijkstraOnLine) {
+  SubstrateNetwork s = line_network(5);
+  const auto t = dijkstra(s, 0, link_cost_weights(s));
+  EXPECT_DOUBLE_EQ(t.dist[4], 4);
+  EXPECT_EQ(t.path_to(3), (std::vector<LinkId>{0, 1, 2}));
+  EXPECT_TRUE(t.path_to(0).empty());
+}
+
+TEST(Paths, DijkstraRespectsWeights) {
+  // Triangle where the direct link is expensive.
+  SubstrateNetwork s;
+  for (int i = 0; i < 3; ++i)
+    s.add_node({"n" + std::to_string(i), Tier::Edge, 10, 1, false});
+  const LinkId direct = s.add_link(0, 2, 10, 5.0);
+  s.add_link(0, 1, 10, 1.0);
+  s.add_link(1, 2, 10, 1.0);
+  const auto t = dijkstra(s, 0, link_cost_weights(s));
+  EXPECT_DOUBLE_EQ(t.dist[2], 2.0);
+  EXPECT_EQ(t.path_to(2).size(), 2u);
+  EXPECT_EQ(t.path_to(2)[0] == direct, false);
+}
+
+TEST(Paths, FilterExcludesLinks) {
+  SubstrateNetwork s = line_network(3);
+  const auto t = dijkstra(s, 0, link_cost_weights(s),
+                          [](LinkId l) { return l != 1; });
+  EXPECT_TRUE(t.reachable(1));
+  EXPECT_FALSE(t.reachable(2));
+  EXPECT_THROW(t.path_to(2), InvalidArgument);
+}
+
+TEST(Paths, AllPairsSymmetricOnUndirected) {
+  SubstrateNetwork s = line_network(6);
+  const AllPairsShortestPaths ap(s, link_cost_weights(s));
+  for (NodeId a = 0; a < 6; ++a)
+    for (NodeId b = 0; b < 6; ++b) EXPECT_DOUBLE_EQ(ap.dist(a, b), ap.dist(b, a));
+  EXPECT_EQ(ap.path(1, 4).size(), 3u);
+}
+
+}  // namespace
+}  // namespace olive::net

@@ -1,0 +1,193 @@
+// Tests for OLIVE (Algorithm 2): planned allocation within the guaranteed
+// share, borrowing, preemption of borrowed capacity, greedy fallback,
+// rejection, departures, and the QUICKG special case.
+#include <gtest/gtest.h>
+
+#include "core/olive.hpp"
+#include "core/plan_solver.hpp"
+#include "util/error.hpp"
+
+namespace olive::core {
+namespace {
+
+net::SubstrateNetwork two_host_network(double cap0 = 1000, double cap1 = 1000,
+                                       double ingress_cap = 1000) {
+  // ingress (0) -- host A (1) -- host B (2); A cheaper than B.
+  net::SubstrateNetwork s;
+  s.add_node({"ingress", net::Tier::Edge, ingress_cap, 3.0, false});
+  s.add_node({"hostA", net::Tier::Edge, cap0, 1.0, false});
+  s.add_node({"hostB", net::Tier::Edge, cap1, 2.0, false});
+  s.add_link(0, 1, 10000, 1.0);
+  s.add_link(1, 2, 10000, 1.0);
+  return s;
+}
+
+std::vector<net::Application> chain_app() {
+  return {net::Application{"chain",
+                           net::VirtualNetwork::chain({10, 10}, {2, 2})}};
+}
+
+workload::Request make_request(int id, double demand, int app = 0,
+                               net::NodeId ingress = 0, int arrival = 0,
+                               int duration = 10) {
+  workload::Request r;
+  r.id = id;
+  r.arrival = arrival;
+  r.duration = duration;
+  r.ingress = ingress;
+  r.app = app;
+  r.demand = demand;
+  return r;
+}
+
+/// A plan with one class (app 0 at node 0) planned fully onto host A.
+Plan one_class_plan(const net::SubstrateNetwork& s,
+                    const std::vector<net::Application>& apps,
+                    double planned_demand) {
+  std::vector<AggregateRequest> aggs;
+  aggs.push_back({0, 0, planned_demand, planned_demand, 1});
+  return solve_plan_vne(s, apps, aggs);
+}
+
+TEST(Olive, PlannedAllocationWithinGuaranteedShare) {
+  const auto s = two_host_network();
+  const auto apps = chain_app();
+  OliveEmbedder algo(s, apps, one_class_plan(s, apps, 10.0));
+  const auto out = algo.embed(make_request(1, 5.0));
+  EXPECT_EQ(out.kind, OutcomeKind::Planned);
+  EXPECT_TRUE(out.preempted_ids.empty());
+  // Plan residual shrinks by the demand.
+  EXPECT_NEAR(algo.plan_residual(0, 0), 5.0, 1e-9);
+}
+
+TEST(Olive, BorrowingBeyondGuaranteedShare) {
+  const auto s = two_host_network();
+  const auto apps = chain_app();
+  OliveEmbedder algo(s, apps, one_class_plan(s, apps, 10.0));
+  EXPECT_EQ(algo.embed(make_request(1, 9.0)).kind, OutcomeKind::Planned);
+  // Second request exceeds the remaining planned share (1.0) but substrate
+  // capacity is ample: partial fit -> borrowed.
+  const auto out = algo.embed(make_request(2, 9.0));
+  EXPECT_EQ(out.kind, OutcomeKind::Borrowed);
+  // Borrowed allocations do not book plan residual (Eq. 17).
+  EXPECT_NEAR(algo.plan_residual(0, 0), 1.0, 1e-9);
+}
+
+TEST(Olive, ExhaustedPlanWithNoResidualFallsBackToGreedy) {
+  const auto s = two_host_network();
+  const auto apps = chain_app();
+  OliveEmbedder algo(s, apps, one_class_plan(s, apps, 10.0));
+  EXPECT_EQ(algo.embed(make_request(1, 10.0)).kind, OutcomeKind::Planned);
+  // Plan residual is exactly zero: no full fit, no partial fit -> greedy.
+  const auto out = algo.embed(make_request(2, 5.0));
+  EXPECT_EQ(out.kind, OutcomeKind::Greedy);
+}
+
+TEST(Olive, PreemptsBorrowersForPlannedDemand) {
+  // Host A sized so that planned demand fills it exactly; a borrower from a
+  // *different* (unplanned) class occupies it first and must be evicted.
+  const auto s = two_host_network(/*cap0=*/400, /*cap1=*/400);
+  const auto apps = chain_app();
+  // Plan guarantees 20 demand units (20*20=400 CU on host A) to class (0,0).
+  OliveEmbedder algo(s, apps, one_class_plan(s, apps, 20.0));
+
+  // An unplanned request (different ingress, node 2 -> no class) grabs host
+  // A greedily (A is cheapest).
+  const auto greedy = algo.embed(make_request(1, 10.0, 0, /*ingress=*/2));
+  EXPECT_EQ(greedy.kind, OutcomeKind::Greedy);
+
+  // The planned class now needs its full guaranteed share; host A has only
+  // 200 CU left, so OLIVE must preempt the borrower.
+  const auto planned = algo.embed(make_request(2, 20.0, 0, /*ingress=*/0));
+  EXPECT_EQ(planned.kind, OutcomeKind::Planned);
+  ASSERT_EQ(planned.preempted_ids.size(), 1u);
+  EXPECT_EQ(planned.preempted_ids[0], 1);
+}
+
+TEST(Olive, NeverPreemptsPlannedAllocations) {
+  const auto s =
+      two_host_network(/*cap0=*/400, /*cap1=*/200, /*ingress_cap=*/10);
+  const auto apps = chain_app();
+  OliveEmbedder algo(s, apps, one_class_plan(s, apps, 20.0));
+  // Fill the entire planned share with planned requests.
+  EXPECT_EQ(algo.embed(make_request(1, 10.0)).kind, OutcomeKind::Planned);
+  EXPECT_EQ(algo.embed(make_request(2, 10.0)).kind, OutcomeKind::Planned);
+  // A third planned-class request: no plan residual, no borrow room on A
+  // (A is full) -> greedy tries host B (10 units = 200 CU fits).
+  const auto third = algo.embed(make_request(3, 10.0));
+  EXPECT_EQ(third.kind, OutcomeKind::Greedy);
+  EXPECT_TRUE(third.preempted_ids.empty());
+  // Fourth: B is full too, nothing preemptible (all planned) -> reject.
+  const auto fourth = algo.embed(make_request(4, 10.0));
+  EXPECT_EQ(fourth.kind, OutcomeKind::Rejected);
+}
+
+TEST(Olive, DepartureRestoresPlanAndSubstrate) {
+  const auto s = two_host_network();
+  const auto apps = chain_app();
+  OliveEmbedder algo(s, apps, one_class_plan(s, apps, 10.0));
+  const auto r = make_request(1, 10.0);
+  EXPECT_EQ(algo.embed(r).kind, OutcomeKind::Planned);
+  EXPECT_NEAR(algo.plan_residual(0, 0), 0.0, 1e-9);
+  const double before = algo.load().min_residual();
+  algo.depart(r);
+  EXPECT_NEAR(algo.plan_residual(0, 0), 10.0, 1e-9);
+  EXPECT_GT(algo.load().min_residual(), before);
+  // Departing twice (or for a rejected request) is a harmless no-op.
+  algo.depart(r);
+  EXPECT_NEAR(algo.plan_residual(0, 0), 10.0, 1e-9);
+}
+
+TEST(Olive, RejectsWhenSubstrateExhausted) {
+  const auto s =
+      two_host_network(/*cap0=*/100, /*cap1=*/100, /*ingress_cap=*/10);
+  const auto apps = chain_app();
+  OliveEmbedder algo(s, apps, Plan::empty());
+  // Each request needs 20 CU/unit * 5 = 100 CU: two fit (one per host,
+  // via greedy), the third finds no host.
+  EXPECT_EQ(algo.embed(make_request(1, 5.0)).kind, OutcomeKind::Greedy);
+  EXPECT_EQ(algo.embed(make_request(2, 5.0)).kind, OutcomeKind::Greedy);
+  EXPECT_EQ(algo.embed(make_request(3, 5.0)).kind, OutcomeKind::Rejected);
+}
+
+TEST(Olive, QuickGNeverUsesPlanOutcomes) {
+  const auto s = two_host_network();
+  const auto apps = chain_app();
+  OliveEmbedder quickg(s, apps, Plan::empty(), "QuickG");
+  EXPECT_EQ(quickg.name(), "QuickG");
+  for (int i = 0; i < 10; ++i) {
+    const auto out = quickg.embed(make_request(i, 3.0));
+    EXPECT_TRUE(out.kind == OutcomeKind::Greedy ||
+                out.kind == OutcomeKind::Rejected);
+  }
+}
+
+TEST(Olive, UnplannedClassFallsThroughToGreedy) {
+  const auto s = two_host_network();
+  const auto apps = chain_app();
+  OliveEmbedder algo(s, apps, one_class_plan(s, apps, 10.0));
+  // Ingress 1 has no plan class.
+  const auto out = algo.embed(make_request(1, 5.0, 0, /*ingress=*/1));
+  EXPECT_EQ(out.kind, OutcomeKind::Greedy);
+}
+
+TEST(Olive, ResetClearsAllState) {
+  const auto s = two_host_network();
+  const auto apps = chain_app();
+  OliveEmbedder algo(s, apps, one_class_plan(s, apps, 10.0));
+  EXPECT_EQ(algo.embed(make_request(1, 10.0)).kind, OutcomeKind::Planned);
+  algo.reset();
+  EXPECT_NEAR(algo.plan_residual(0, 0), 10.0, 1e-9);
+  EXPECT_EQ(algo.embed(make_request(1, 10.0)).kind, OutcomeKind::Planned);
+}
+
+TEST(Olive, DuplicateRequestIdRejected) {
+  const auto s = two_host_network();
+  const auto apps = chain_app();
+  OliveEmbedder algo(s, apps, Plan::empty());
+  EXPECT_EQ(algo.embed(make_request(1, 1.0)).kind, OutcomeKind::Greedy);
+  EXPECT_THROW(algo.embed(make_request(1, 1.0)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace olive::core

@@ -1,0 +1,125 @@
+// Tests for the statistics substrate: percentiles, ECDF, bootstrap
+// estimation (coverage property), the Eq. 20 balance index, and mean/CI
+// aggregation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/stats.hpp"
+#include "util/distributions.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace olive::stats {
+namespace {
+
+TEST(Percentile, KnownValues) {
+  const std::vector<double> data{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(data, 0), 1);
+  EXPECT_DOUBLE_EQ(percentile(data, 50), 3);
+  EXPECT_DOUBLE_EQ(percentile(data, 100), 5);
+  EXPECT_DOUBLE_EQ(percentile(data, 25), 2);
+  EXPECT_DOUBLE_EQ(percentile(data, 80), 4.2);  // type-7 interpolation
+}
+
+TEST(Percentile, SingleElementAndErrors) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 30), 7.0);
+  EXPECT_THROW(percentile({}, 50), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, 101), InvalidArgument);
+}
+
+TEST(Ecdf, StepFunction) {
+  const std::vector<double> data{1, 2, 2, 3};
+  EXPECT_DOUBLE_EQ(ecdf(data, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(data, 2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf(data, 10), 1.0);
+}
+
+TEST(Bootstrap, EstimateNearTruePercentile) {
+  Rng rng(1);
+  std::vector<double> data(2000);
+  for (auto& v : data) v = sample_normal(rng, 100.0, 10.0);
+  Rng brng(2);
+  const auto est = bootstrap_percentile(data, 80, 200, brng);
+  // True P80 of N(100,10) is 100 + 0.8416*10 = 108.4.
+  EXPECT_NEAR(est.estimate, 108.4, 1.5);
+  EXPECT_LT(est.ci_low, est.estimate);
+  EXPECT_GT(est.ci_high, est.estimate);
+}
+
+TEST(Bootstrap, CoverageOfTruePercentile) {
+  // The 95% CI should contain the true percentile in most repetitions —
+  // the conformance test the paper applies to online demand (§III-A).
+  Rng rng(3);
+  const double true_p80 = 100 + 0.8416212 * 10;
+  int covered = 0;
+  const int reps = 40;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<double> data(500);
+    for (auto& v : data) v = sample_normal(rng, 100.0, 10.0);
+    Rng brng(static_cast<std::uint64_t>(rep) + 1000);
+    const auto est = bootstrap_percentile(data, 80, 150, brng);
+    covered += (true_p80 >= est.ci_low && true_p80 <= est.ci_high);
+  }
+  EXPECT_GE(covered, reps * 3 / 4);  // generous: nominal coverage is 95%
+}
+
+TEST(Bootstrap, DeterministicInRng) {
+  const std::vector<double> data{1, 5, 2, 8, 3, 9, 4};
+  Rng a(10), b(10);
+  const auto e1 = bootstrap_percentile(data, 80, 100, a);
+  const auto e2 = bootstrap_percentile(data, 80, 100, b);
+  EXPECT_DOUBLE_EQ(e1.estimate, e2.estimate);
+  EXPECT_DOUBLE_EQ(e1.ci_low, e2.ci_low);
+}
+
+TEST(BalanceIndex, PerfectBalanceIsOne) {
+  // Equal rejections across applications at every node.
+  const std::vector<std::vector<double>> rejected{{5, 5, 5, 5}, {2, 2, 2, 2}};
+  EXPECT_NEAR(rejection_balance_index(rejected, {10, 20}), 1.0, 1e-12);
+}
+
+TEST(BalanceIndex, FullImbalanceIsOneOverA) {
+  // All rejections on one application -> Jain index 1/|A|.
+  const std::vector<std::vector<double>> rejected{{8, 0, 0, 0}};
+  EXPECT_NEAR(rejection_balance_index(rejected, {1}), 0.25, 1e-12);
+}
+
+TEST(BalanceIndex, ZeroRejectionNodeCountsAsBalanced) {
+  const std::vector<std::vector<double>> rejected{{0, 0}, {4, 0}};
+  // node 0 contributes 1.0, node 1 contributes 0.5; equal weights -> 0.75.
+  EXPECT_NEAR(rejection_balance_index(rejected, {1, 1}), 0.75, 1e-12);
+}
+
+TEST(BalanceIndex, WeightsSkewTheAverage) {
+  const std::vector<std::vector<double>> rejected{{1, 1}, {6, 0}};
+  // indexes: 1.0 and 0.5; weights 3:1 -> (3*1 + 1*0.5)/4 = 0.875.
+  EXPECT_NEAR(rejection_balance_index(rejected, {3, 1}), 0.875, 1e-12);
+}
+
+TEST(BalanceIndex, EmptyInputIsBalanced) {
+  EXPECT_DOUBLE_EQ(rejection_balance_index({}, {}), 1.0);
+}
+
+TEST(BalanceIndex, RejectsMalformedInput) {
+  EXPECT_THROW(rejection_balance_index({{1, 2}}, {1, 2}), InvalidArgument);
+  EXPECT_THROW(rejection_balance_index({{-1, 2}}, {1}), InvalidArgument);
+}
+
+TEST(MeanCi, KnownSmallSample) {
+  const auto ci = mean_ci({2, 4, 6});
+  EXPECT_DOUBLE_EQ(ci.mean, 4.0);
+  EXPECT_EQ(ci.n, 3u);
+  // sample sd = 2, stderr = 2/sqrt(3).
+  EXPECT_NEAR(ci.half_width, 1.96 * 2.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(MeanCi, DegenerateInputs) {
+  EXPECT_EQ(mean_ci({}).n, 0u);
+  const auto one = mean_ci({5});
+  EXPECT_DOUBLE_EQ(one.mean, 5.0);
+  EXPECT_DOUBLE_EQ(one.half_width, 0.0);
+}
+
+}  // namespace
+}  // namespace olive::stats

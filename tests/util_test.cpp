@@ -1,0 +1,210 @@
+// Unit tests for the util substrate: RNG determinism and stream
+// independence, distribution moments, Zipf CDF shape, and the table writer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/distributions.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace olive {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedAcrossSmallRange) {
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(5)];
+  for (int c : counts) EXPECT_NEAR(c, kDraws / 5.0, kDraws * 0.01);
+}
+
+TEST(Rng, IntegerCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.integer(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng base(99);
+  Rng a = base.fork(1), b = base.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_EQ(same, 0);
+  // Forking is a const operation: same tag -> same stream.
+  Rng a2 = base.fork(1);
+  Rng a3 = base.fork(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a2(), a3());
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits, 0.3 * kDraws, kDraws * 0.01);
+}
+
+TEST(StableHash, DistinctStringsDistinctHashes) {
+  EXPECT_NE(stable_hash("arrivals"), stable_hash("demands"));
+  EXPECT_EQ(stable_hash("x"), stable_hash("x"));
+}
+
+TEST(Distributions, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0, sumsq = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = sample_normal(rng, 10.0, 4.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sumsq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 4.0, 0.05);
+}
+
+TEST(Distributions, TruncatedNormalRespectsFloor) {
+  Rng rng(18);
+  for (int i = 0; i < 20000; ++i)
+    EXPECT_GE(sample_truncated_normal(rng, 1.0, 5.0, 0.25), 0.25);
+}
+
+TEST(Distributions, TruncatedNormalDegenerateParamsReturnFloor) {
+  Rng rng(18);
+  // mean far below the floor: resampling gives up and returns the floor
+  EXPECT_DOUBLE_EQ(sample_truncated_normal(rng, -1e9, 1e-12, 2.0), 2.0);
+}
+
+TEST(Distributions, ExponentialMeanMatches) {
+  Rng rng(19);
+  double sum = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += sample_exponential(rng, 10.0);
+  EXPECT_NEAR(sum / kDraws, 10.0, 0.1);
+}
+
+TEST(Distributions, ExponentialRejectsBadMean) {
+  Rng rng(1);
+  EXPECT_THROW(sample_exponential(rng, 0.0), InvalidArgument);
+}
+
+TEST(Distributions, PoissonSmallLambdaMean) {
+  Rng rng(20);
+  double sum = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += static_cast<double>(sample_poisson(rng, 3.5));
+  EXPECT_NEAR(sum / kDraws, 3.5, 0.05);
+}
+
+TEST(Distributions, PoissonLargeLambdaMean) {
+  Rng rng(21);
+  double sum = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) sum += static_cast<double>(sample_poisson(rng, 900.0));
+  EXPECT_NEAR(sum / kDraws, 900.0, 2.0);
+}
+
+TEST(Distributions, PoissonZeroLambda) {
+  Rng rng(22);
+  EXPECT_EQ(sample_poisson(rng, 0.0), 0u);
+}
+
+TEST(Distributions, ParetoTailHeavierThanExponential) {
+  Rng rng(23);
+  // For shape 1.2 the sample maximum over 10k draws should exceed 100x the
+  // scale with overwhelming probability.
+  double mx = 0;
+  for (int i = 0; i < 10000; ++i) mx = std::max(mx, sample_pareto(rng, 1.0, 1.2));
+  EXPECT_GT(mx, 100.0);
+  // All samples are >= scale.
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(sample_pareto(rng, 2.5, 1.2), 2.5);
+}
+
+TEST(Zipf, ProbabilitiesFollowPowerLaw) {
+  const ZipfSampler zipf(100, 1.0);
+  // p(0)/p(1) == 2 for alpha=1.
+  EXPECT_NEAR(zipf.probability(0) / zipf.probability(1), 2.0, 1e-9);
+  double total = 0;
+  for (std::size_t k = 0; k < 100; ++k) total += zipf.probability(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, SamplingMatchesProbabilities) {
+  Rng rng(31);
+  const ZipfSampler zipf(10, 1.0);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf(rng)];
+  for (std::size_t k = 0; k < 10; ++k)
+    EXPECT_NEAR(counts[k] / static_cast<double>(kDraws), zipf.probability(k), 0.01);
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  const ZipfSampler zipf(4, 0.0);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_NEAR(zipf.probability(k), 0.25, 1e-12);
+}
+
+TEST(Zipf, RejectsEmptySupport) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), InvalidArgument);
+}
+
+TEST(Table, AlignedAndCsvOutput) {
+  Table t({"algo", "rate"});
+  t.add_row({"OLIVE", Table::num(0.125, 3)});
+  std::ostringstream text, csv;
+  t.print(text);
+  t.print_csv(csv);
+  EXPECT_NE(text.str().find("OLIVE"), std::string::npos);
+  EXPECT_EQ(csv.str(), "algo,rate\nOLIVE,0.125\n");
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(ErrorHelpers, AssertThrowsLogicError) {
+  EXPECT_THROW(OLIVE_ASSERT(1 == 2), LogicError);
+  EXPECT_NO_THROW(OLIVE_ASSERT(1 == 1));
+}
+
+}  // namespace
+}  // namespace olive
