@@ -1,0 +1,172 @@
+// perf_smoke — machine-readable performance trajectory of the hot path.
+//
+// Times (a) repeated PLAN-VNE plan solves (cold and column-cache-warmed) and
+// (b) a short SLOTOFF window (the per-slot master re-solve loop) on the two
+// topologies where SLOTOFF is tractable at quick scale (Iris, CittaStudi),
+// and writes BENCH_perf.json so successive PRs can be compared on identical
+// workloads.  See EXPERIMENTS.md "Performance smoke test" for the schema and
+// how to diff runs.
+//
+// Knobs: OLIVE_PERF_OUT=<path> (default BENCH_perf.json in the CWD),
+// OLIVE_REPRO_FULL=1 for the paper-scale horizon, OLIVE_BENCH_REPS=<n>.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct PerfCase {
+  std::string name;
+  std::string topology;
+  int reps = 0;
+  double seconds_total = 0;
+  long simplex_iterations = 0;
+  long pricing_rounds = 0;
+  long columns_generated = 0;
+  /// Regression check: last solve's LP objective for plan cases, the sum of
+  /// per-slot LP objectives for the SLOTOFF window.
+  double objective = 0;
+  double rejection_rate = -1;  ///< SLOTOFF cases only; -1 elsewhere
+};
+
+std::string json_num(double v) {
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+void write_json(const std::string& path, const olive::bench::BenchScale& scale,
+                const std::vector<PerfCase>& cases) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"schema\": \"olive-perf-v1\",\n"
+      << "  \"scale\": \"" << (scale.full ? "full" : "quick") << "\",\n"
+      << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const PerfCase& c = cases[i];
+    out << "    {\"name\": \"" << c.name << "\", \"topology\": \""
+        << c.topology << "\", \"reps\": " << c.reps
+        << ", \"seconds_total\": " << json_num(c.seconds_total)
+        << ", \"seconds_per_rep\": "
+        << json_num(c.reps > 0 ? c.seconds_total / c.reps : 0.0)
+        << ", \"simplex_iterations\": " << c.simplex_iterations
+        << ", \"pricing_rounds\": " << c.pricing_rounds
+        << ", \"columns_generated\": " << c.columns_generated
+        << ", \"objective\": " << json_num(c.objective)
+        << ", \"rejection_rate\": " << json_num(c.rejection_rate) << "}"
+        << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace olive;
+  const auto scale = bench::bench_scale();
+  bench::print_header("perf_smoke: plan-solve + SLOTOFF hot-path timings",
+                      scale);
+  // OLIVE_BENCH_REPS overrides the plan-solve repetition count (as in the
+  // other benches); the default favors run-to-run comparability.
+  const int plan_reps =
+      std::getenv("OLIVE_BENCH_REPS") ? scale.reps : (scale.full ? 10 : 5);
+  const int slotoff_slots = scale.full ? 60 : 25;
+  const char* out_env = std::getenv("OLIVE_PERF_OUT");
+  const std::string out_path = out_env ? out_env : "BENCH_perf.json";
+
+  std::vector<PerfCase> cases;
+  std::cout << "case,topology,reps,seconds_total,simplex_iterations,"
+               "pricing_rounds,columns_generated,objective\n";
+
+  for (const std::string topo : {"Iris", "CittaStudi"}) {
+    const auto cfg = bench::base_config(scale, topo, 1.0);
+    const core::Scenario sc = core::build_scenario(cfg, 0);
+
+    // (a) cold plan solves: every rep prices its columns from scratch.
+    PerfCase cold;
+    cold.name = "plan_solve_cold";
+    cold.topology = topo;
+    cold.reps = plan_reps;
+    for (int rep = 0; rep < plan_reps; ++rep) {
+      core::PlanSolveInfo info;
+      const auto start = Clock::now();
+      const core::Plan plan = core::solve_plan_vne(
+          sc.substrate, sc.apps, sc.aggregates, cfg.plan, &info);
+      cold.seconds_total += seconds_since(start);
+      cold.simplex_iterations += info.simplex_iterations;
+      cold.pricing_rounds += info.rounds;
+      cold.columns_generated += info.columns_generated;
+      cold.objective = info.objective;
+    }
+    cases.push_back(cold);
+
+    // (b) warm plan solves: the column cache carries embeddings across
+    // solves, the SLOTOFF/replan regime.
+    PerfCase warm = cold;
+    warm.name = "plan_solve_warm";
+    warm.seconds_total = 0;
+    warm.simplex_iterations = warm.pricing_rounds = warm.columns_generated = 0;
+    core::PlanColumnCache cache;
+    for (int rep = 0; rep < plan_reps; ++rep) {
+      core::PlanSolveInfo info;
+      const auto start = Clock::now();
+      const core::Plan plan = core::solve_plan_vne(
+          sc.substrate, sc.apps, sc.aggregates, cfg.plan, &info, &cache);
+      warm.seconds_total += seconds_since(start);
+      warm.simplex_iterations += info.simplex_iterations;
+      warm.pricing_rounds += info.rounds;
+      warm.columns_generated += info.columns_generated;
+      warm.objective = info.objective;
+    }
+    cases.push_back(warm);
+
+    // (c) a SLOTOFF window: per-slot master re-solves on the online trace
+    // truncated to the first `slotoff_slots` arrival slots.
+    workload::Trace window;
+    const int base = sc.online.empty() ? 0 : sc.online.front().arrival;
+    for (const auto& r : sc.online)
+      if (r.arrival - base < slotoff_slots) window.push_back(r);
+    core::SlotOffConfig so;
+    so.sim = cfg.sim;
+    so.sim.measure_from = 0;
+    so.sim.measure_to = slotoff_slots;
+    so.sim.drain_slots = 0;
+    so.plan = cfg.plan;
+    // Same pricing-round cap run_algorithm("SlotOff") applies, so these rows
+    // time the production SLOTOFF regime.
+    so.plan.max_rounds = std::min(so.plan.max_rounds, 8);
+    PerfCase slot;
+    slot.name = "slotoff_window";
+    slot.topology = topo;
+    const auto start = Clock::now();
+    const auto m = core::run_slotoff(sc.substrate, sc.apps, window, so);
+    slot.seconds_total = seconds_since(start);
+    slot.reps = static_cast<int>(m.plan_solves);
+    slot.simplex_iterations = m.plan_simplex_iterations;
+    slot.pricing_rounds = m.plan_rounds;
+    slot.columns_generated = m.plan_columns_generated;
+    slot.objective = m.plan_objective_sum;
+    slot.rejection_rate = m.rejection_rate();
+    cases.push_back(slot);
+
+    for (auto it = cases.end() - 3; it != cases.end(); ++it)
+      std::cout << it->name << "," << it->topology << "," << it->reps << ","
+                << json_num(it->seconds_total) << "," << it->simplex_iterations
+                << "," << it->pricing_rounds << "," << it->columns_generated
+                << "," << json_num(it->objective) << std::endl;
+  }
+
+  write_json(out_path, scale, cases);
+  std::cout << "# wrote " << out_path << "\n";
+  return 0;
+}

@@ -45,7 +45,10 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
   for (int e = 0; e < s.element_count(); ++e)
     OLIVE_REQUIRE(s.element_capacity(e) > 0,
                   "every substrate element needs positive capacity");
-  if (aggregates.empty()) return Plan::empty();
+  if (aggregates.empty()) {
+    if (info) *info = {};
+    return Plan::empty();
+  }
 
   const int n_classes = static_cast<int>(aggregates.size());
   const int n_elems = s.element_count();
@@ -155,6 +158,7 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
   OLIVE_ASSERT(res.status == lp::Status::Optimal);  // all-reject is feasible
 
   PlanSolveInfo local_info;
+  local_info.simplex_iterations += res.iterations;
   int round = 0;
   for (; round < config.max_rounds; ++round) {
     // Dual-adjusted effective element costs (π <= 0 on capacity rows, so
@@ -210,6 +214,7 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
     if (added == 0) break;
     local_info.columns_generated += added;
     res = solver.resolve();
+    local_info.simplex_iterations += res.iterations;
     OLIVE_ASSERT(res.status == lp::Status::Optimal);
   }
 

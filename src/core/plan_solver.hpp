@@ -42,6 +42,7 @@ struct PlanVneConfig {
 struct PlanSolveInfo {
   int rounds = 0;
   int columns_generated = 0;
+  long simplex_iterations = 0;  ///< summed over the initial solve + resolves
   lp::Status status = lp::Status::Optimal;
   double objective = 0;
 };

@@ -267,7 +267,14 @@ SimMetrics run_slotoff(const net::SubstrateNetwork& s,
       agg.demand += r->demand;
       agg.request_count += 1;
     }
-    const Plan plan = solve_plan_vne(s, apps, aggs, config.plan, nullptr, &cache);
+    PlanSolveInfo solve_info;
+    const Plan plan =
+        solve_plan_vne(s, apps, aggs, config.plan, &solve_info, &cache);
+    metrics.plan_solves += 1;
+    metrics.plan_simplex_iterations += solve_info.simplex_iterations;
+    metrics.plan_rounds += solve_info.rounds;
+    metrics.plan_columns_generated += solve_info.columns_generated;
+    metrics.plan_objective_sum += solve_info.objective;
 
     // Round the splittable plan onto individual requests: largest first,
     // first fitting column (capacity f_k·D_c and substrate feasibility).

@@ -92,6 +92,14 @@ struct SimMetrics {
   /// Wall-clock seconds spent inside the algorithm (Fig. 16's runtime).
   double algo_seconds = 0;
 
+  /// SLOTOFF only: master-LP work aggregated over the per-slot solves
+  /// (zero for the online algorithms, which solve no master LP).
+  long plan_solves = 0;
+  long plan_simplex_iterations = 0;
+  long plan_rounds = 0;
+  long plan_columns_generated = 0;
+  double plan_objective_sum = 0;  ///< Σ per-slot LP objectives
+
   std::vector<RequestRecord> records;  // only if record_requests
 };
 

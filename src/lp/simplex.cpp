@@ -433,6 +433,7 @@ SolveResult Simplex::finish(Status status, long iterations) {
 SolveResult Simplex::solve() {
   install_slack_basis();
   long budget = options_.max_iterations;
+  long phase1_iterations = 0;
 
   if (phase1_infeasibility() > options_.feas_tol) {
     SolveResult p1 = run(/*phase1=*/true, budget);
@@ -441,6 +442,7 @@ SolveResult Simplex::solve() {
       p1.status = Status::Infeasible;
       return p1;
     }
+    phase1_iterations = p1.iterations;
   }
   // Lock any artificial still hanging around (basic at ~0).
   for (std::size_t c = 0; c < cols_.size(); ++c) {
@@ -448,7 +450,9 @@ SolveResult Simplex::solve() {
     cols_[c].lo = cols_[c].up = 0.0;
     if (status_[c] != VarStatus::Basic) status_[c] = VarStatus::Fixed;
   }
-  return resolve_internal(budget);
+  SolveResult res = resolve_internal(budget);
+  res.iterations += phase1_iterations;
+  return res;
 }
 
 SolveResult Simplex::resolve() {
