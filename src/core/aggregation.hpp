@@ -16,6 +16,12 @@
 
 namespace olive::core {
 
+/// Canonical 64-bit key of a class (app, ingress) — the one encoding shared
+/// by the plan index, the column cache, and the SLOTOFF class bookkeeping.
+inline long long class_key(int app, net::NodeId ingress) noexcept {
+  return static_cast<long long>(app) * (1LL << 32) + ingress;
+}
+
 /// One aggregated request r̃_{a,v} with its expected demand d(r̃).
 struct AggregateRequest {
   int app = -1;

@@ -22,67 +22,92 @@ EffectiveCosts EffectiveCosts::plain(const net::SubstrateNetwork& s) {
   return c;
 }
 
-std::optional<net::Embedding> min_cost_tree_embedding(
-    const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
-    net::NodeId ingress, const EffectiveCosts& costs,
-    const net::AllPairsShortestPaths& apsp) {
-  OLIVE_REQUIRE(ingress >= 0 && ingress < s.num_nodes(), "ingress out of range");
+namespace {
+
+// dp[i][v] = min cost of embedding the subtree rooted at virtual node i with
+// i placed on substrate node v.  choice[j][v] = best host of child j given
+// its parent at v.  The tables are independent of the ingress: only the
+// reconstruction pins the root.  Templated over the shortest-path provider
+// (eager AllPairsShortestPaths or memoized LazyShortestPaths) — both answer
+// tree(v)/path(a, b) with identical values.
+template <class Paths>
+void run_tree_dp(const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
+                 const EffectiveCosts& costs, const Paths& paths,
+                 std::vector<std::vector<double>>& dp,
+                 std::vector<std::vector<net::NodeId>>& choice) {
   const int n_sub = s.num_nodes();
   const int n_virt = vn.num_nodes();
+  dp.assign(n_virt, std::vector<double>(n_sub, 0.0));
+  choice.assign(n_virt, std::vector<net::NodeId>(n_sub, -1));
 
-  // dp[i][v] = min cost of embedding the subtree rooted at virtual node i
-  // with i placed on substrate node v.  choice[i][v] = best host of child j
-  // given i at v, stored per child.
-  std::vector<std::vector<double>> dp(n_virt, std::vector<double>(n_sub, 0.0));
-  // choice[j][v]: host for child j when its parent sits on v.
-  std::vector<std::vector<net::NodeId>> choice(
-      n_virt, std::vector<net::NodeId>(n_sub, -1));
+  // Hosts with finite subtree cost for one child, in ascending order (the
+  // scan order fixes tie-breaking, so it must match the plain loop's).
+  std::vector<net::NodeId> finite_hosts;
+  std::vector<double> finite_costs;
 
   const auto& order = vn.preorder();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const int i = *it;
+    // Node i's own placement cost first (ruling out forbidden hosts before
+    // any shortest-path tree is requested keeps the lazy provider lazy).
     for (net::NodeId v = 0; v < n_sub; ++v) {
       const double coeff = net::eta(s, vn, i, v);
-      if (!std::isfinite(coeff)) {
-        dp[i][v] = kInf;
-        continue;
+      dp[i][v] = std::isfinite(coeff)
+                     ? vn.vnode(i).size * coeff * costs.node_cost[v]
+                     : kInf;
+    }
+    for (const int j : vn.children(i)) {
+      finite_hosts.clear();
+      finite_costs.clear();
+      for (net::NodeId w = 0; w < n_sub; ++w) {
+        if (dp[j][w] == kInf) continue;
+        finite_hosts.push_back(w);
+        finite_costs.push_back(dp[j][w]);
       }
-      double total = vn.vnode(i).size * coeff * costs.node_cost[v];
-      for (const int j : vn.children(i)) {
-        const double beta_link = vn.vlink(vn.parent_link(j)).size;
+      const double beta_link = vn.vlink(vn.parent_link(j)).size;
+      for (net::NodeId v = 0; v < n_sub; ++v) {
+        if (dp[i][v] == kInf) continue;  // placement already ruled out
         double best = kInf;
         net::NodeId best_w = -1;
-        for (net::NodeId w = 0; w < n_sub; ++w) {
-          if (dp[j][w] == kInf) continue;
-          const double d = apsp.dist(v, w);
-          if (d == kInf) continue;
-          const double c = beta_link * d + dp[j][w];
-          if (c < best) {
-            best = c;
-            best_w = w;
+        if (!finite_hosts.empty()) {
+          const auto& tv = paths.tree(v);
+          for (std::size_t k = 0; k < finite_hosts.size(); ++k) {
+            const double d = tv.dist[finite_hosts[k]];
+            if (d == kInf) continue;
+            const double c = beta_link * d + finite_costs[k];
+            if (c < best) {
+              best = c;
+              best_w = finite_hosts[k];
+            }
           }
         }
         if (best == kInf) {
-          total = kInf;
-          break;
+          dp[i][v] = kInf;
+          continue;
         }
         // Record the child's best host for every possible parent location;
         // only the final root-down pass commits to one.
         choice[j][v] = best_w;
-        total += best;
+        dp[i][v] += best;
       }
-      dp[i][v] = total;
     }
   }
+}
 
+template <class Paths>
+std::optional<net::Embedding> reconstruct_tree_embedding(
+    const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
+    net::NodeId ingress, const Paths& paths,
+    const std::vector<std::vector<double>>& dp,
+    const std::vector<std::vector<net::NodeId>>& choice) {
+  OLIVE_REQUIRE(ingress >= 0 && ingress < s.num_nodes(), "ingress out of range");
   if (dp[0][ingress] == kInf) return std::nullopt;
-
-  // Reconstruct top-down from θ at the ingress.
+  // η(θ, ·) must allow the ingress: the root DP folds it in already.
   net::Embedding e;
-  e.node_map.assign(n_virt, -1);
+  e.node_map.assign(vn.num_nodes(), -1);
   e.link_paths.assign(vn.num_links(), {});
   e.node_map[0] = ingress;
-  for (const int i : order) {
+  for (const int i : vn.preorder()) {
     if (i == 0) continue;
     const int p = vn.parent(i);
     const net::NodeId pv = e.node_map[p];
@@ -90,9 +115,43 @@ std::optional<net::Embedding> min_cost_tree_embedding(
     const net::NodeId w = choice[i][pv];
     OLIVE_ASSERT(w >= 0);
     e.node_map[i] = w;
-    if (w != pv) e.link_paths[vn.parent_link(i)] = apsp.path(pv, w);
+    if (w != pv) e.link_paths[vn.parent_link(i)] = paths.path(pv, w);
   }
   return e;
+}
+
+}  // namespace
+
+std::optional<net::Embedding> min_cost_tree_embedding(
+    const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
+    net::NodeId ingress, const EffectiveCosts& costs,
+    const net::AllPairsShortestPaths& apsp) {
+  std::vector<std::vector<double>> dp;
+  std::vector<std::vector<net::NodeId>> choice;
+  run_tree_dp(s, vn, costs, apsp, dp, choice);
+  return reconstruct_tree_embedding(s, vn, ingress, apsp, dp, choice);
+}
+
+std::optional<net::Embedding> min_cost_tree_embedding(
+    const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
+    net::NodeId ingress, const EffectiveCosts& costs,
+    const net::LazyShortestPaths& paths) {
+  std::vector<std::vector<double>> dp;
+  std::vector<std::vector<net::NodeId>> choice;
+  run_tree_dp(s, vn, costs, paths, dp, choice);
+  return reconstruct_tree_embedding(s, vn, ingress, paths, dp, choice);
+}
+
+MinCostTreeDP::MinCostTreeDP(const net::SubstrateNetwork& s,
+                             const net::VirtualNetwork& vn,
+                             const EffectiveCosts& costs,
+                             const net::LazyShortestPaths& paths)
+    : s_(&s), vn_(&vn), paths_(&paths) {
+  run_tree_dp(s, vn, costs, paths, dp_, choice_);
+}
+
+std::optional<net::Embedding> MinCostTreeDP::embed(net::NodeId ingress) const {
+  return reconstruct_tree_embedding(*s_, *vn_, ingress, *paths_, dp_, choice_);
 }
 
 std::optional<net::Embedding> capacitated_min_cost_tree_embedding(

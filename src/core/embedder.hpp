@@ -42,6 +42,35 @@ std::optional<net::Embedding> min_cost_tree_embedding(
     net::NodeId ingress, const EffectiveCosts& costs,
     const net::AllPairsShortestPaths& apsp);
 
+/// Same, on lazily computed shortest paths (the PLAN-VNE pricing path).
+std::optional<net::Embedding> min_cost_tree_embedding(
+    const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
+    net::NodeId ingress, const EffectiveCosts& costs,
+    const net::LazyShortestPaths& paths);
+
+/// The tree-DP tables of min_cost_tree_embedding, decoupled from the
+/// ingress: dp[i][v] depends only on (topology, effective costs), so one DP
+/// answers embed() for every ingress.  The PLAN-VNE pricing loop builds one
+/// per application per dual update and reuses it across all classes of that
+/// application — with many ingress classes per app this removes most of the
+/// pricing work.  Results are identical to min_cost_tree_embedding.
+class MinCostTreeDP {
+ public:
+  MinCostTreeDP(const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
+                const EffectiveCosts& costs,
+                const net::LazyShortestPaths& paths);
+
+  /// Min-cost embedding with the root pinned to `ingress`, or nullopt.
+  std::optional<net::Embedding> embed(net::NodeId ingress) const;
+
+ private:
+  const net::SubstrateNetwork* s_;
+  const net::VirtualNetwork* vn_;
+  const net::LazyShortestPaths* paths_;
+  std::vector<std::vector<double>> dp_;
+  std::vector<std::vector<net::NodeId>> choice_;
+};
+
 /// GREEDYEMBED (§III-C): least-cost collocated embedding that fits the
 /// residual capacities in `load` for the given demand.  Returns nullopt when
 /// no feasible collocated embedding exists (including GPU/non-GPU VNF mixes,

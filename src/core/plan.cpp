@@ -4,12 +4,6 @@
 
 namespace olive::core {
 
-namespace {
-long long class_key(int app, net::NodeId ingress) {
-  return static_cast<long long>(app) * (1LL << 32) + ingress;
-}
-}  // namespace
-
 double PlanClass::accepted_fraction() const {
   double total = 0;
   for (const auto& c : columns) total += c.fraction;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "core/embedder.hpp"
 #include "lp/model.hpp"
@@ -10,20 +12,6 @@
 #include "util/error.hpp"
 
 namespace olive::core {
-
-namespace {
-
-/// Stable fingerprint of an embedding, to avoid adding duplicate columns.
-std::vector<int> embedding_fingerprint(const net::Embedding& e) {
-  std::vector<int> fp = e.node_map;
-  for (const auto& path : e.link_paths) {
-    fp.push_back(-1);
-    for (const int l : path) fp.push_back(l);
-  }
-  return fp;
-}
-
-}  // namespace
 
 double default_psi(const net::SubstrateNetwork& s,
                    const net::VirtualNetwork& app) {
@@ -65,40 +53,49 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
                              : default_psi(s, apps[agg.app].topology);
   }
 
-  // Initial columns: the min-cost embedding under plain element costs.
+  // Initial columns: the min-cost embedding under plain element costs.  The
+  // tree-DP tables are ingress-independent, so one DP per application serves
+  // every class of that application; shortest-path trees are computed
+  // lazily, only for the sources the DPs actually query.
   const EffectiveCosts plain = EffectiveCosts::plain(s);
-  const net::AllPairsShortestPaths plain_apsp(s, plain.link_weight);
+  const net::LazyShortestPaths plain_paths(s, plain.link_weight);
+  std::unordered_map<int, MinCostTreeDP> plain_dp;
   struct Candidate {
     net::Embedding embedding;
     Usage usage;
     double unit_cost;
+    std::uint64_t fingerprint = 0;
     int model_col = -1;
   };
   std::vector<std::vector<Candidate>> cand(n_classes);
-  std::vector<std::set<std::vector<int>>> seen(n_classes);
+  std::vector<std::unordered_set<std::uint64_t>> seen(n_classes);
   double max_obj_coeff = 1.0;
   for (int c = 0; c < n_classes; ++c) {
     const auto& agg = aggregates[c];
-    auto emb = min_cost_tree_embedding(s, apps[agg.app].topology, agg.ingress,
-                                       plain, plain_apsp);
+    const MinCostTreeDP& dp =
+        plain_dp.try_emplace(agg.app, s, apps[agg.app].topology, plain,
+                             plain_paths)
+            .first->second;
+    auto emb = dp.embed(agg.ingress);
     if (!emb) continue;  // no feasible placement anywhere: rejection-only
     Candidate cd;
     cd.usage = net::unit_usage(s, apps[agg.app].topology, *emb);
     cd.unit_cost = net::unit_cost(s, apps[agg.app].topology, *emb);
     cd.embedding = std::move(*emb);
-    seen[c].insert(embedding_fingerprint(cd.embedding));
+    cd.fingerprint = net::fingerprint64(cd.embedding);
+    seen[c].insert(cd.fingerprint);
     max_obj_coeff = std::max(max_obj_coeff, agg.demand * cd.unit_cost);
     max_obj_coeff = std::max(max_obj_coeff, agg.demand * psi[c] * P);
     cand[c].push_back(std::move(cd));
     // Seed the pool with previously generated columns for this class.
     if (cache) {
-      for (const auto& cc : cache->bucket(agg.app, agg.ingress)) {
-        auto fp = embedding_fingerprint(cc.embedding);
-        if (!seen[c].insert(std::move(fp)).second) continue;
+      for (const auto& cc : cache->bucket(agg.app, agg.ingress).columns) {
+        if (!seen[c].insert(cc.fingerprint).second) continue;
         Candidate warm;
         warm.embedding = cc.embedding;
         warm.usage = cc.usage;
         warm.unit_cost = cc.unit_cost;
+        warm.fingerprint = cc.fingerprint;
         max_obj_coeff = std::max(max_obj_coeff, agg.demand * warm.unit_cost);
         cand[c].push_back(std::move(warm));
       }
@@ -176,14 +173,19 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
       eff.link_weight[l] = std::max(
           0.0, obj_scale * s.link(l).cost - res.duals[e] / s.element_capacity(e));
     }
-    const net::AllPairsShortestPaths apsp(s, eff.link_weight);
+    // Lazy trees + one ingress-independent DP per application per round.
+    const net::LazyShortestPaths paths(s, eff.link_weight);
+    std::unordered_map<int, MinCostTreeDP> dp_by_app;
 
     int added = 0;
     for (int c = 0; c < n_classes; ++c) {
       if (cand[c].empty()) continue;  // no feasible placement at all
       const auto& agg = aggregates[c];
-      auto emb = min_cost_tree_embedding(s, apps[agg.app].topology,
-                                         agg.ingress, eff, apsp);
+      const MinCostTreeDP& dp =
+          dp_by_app
+              .try_emplace(agg.app, s, apps[agg.app].topology, eff, paths)
+              .first->second;
+      auto emb = dp.embed(agg.ingress);
       if (!emb) continue;
       // Reduced cost in scaled units: d_c·unitEffCost − μ_c.
       const Usage usage = net::unit_usage(s, apps[agg.app].topology, *emb);
@@ -198,13 +200,14 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
       const double mu = res.duals[convexity_row[c]];
       const double rc = agg.demand * unit_eff - mu;
       if (rc >= -config.reduced_cost_tol) continue;
-      auto fp = embedding_fingerprint(*emb);
-      if (!seen[c].insert(std::move(fp)).second) continue;  // duplicate
+      const std::uint64_t fp = net::fingerprint64(*emb);
+      if (!seen[c].insert(fp).second) continue;  // duplicate
 
       Candidate cd;
       cd.usage = usage;
       cd.unit_cost = net::unit_cost(s, apps[agg.app].topology, *emb);
       cd.embedding = std::move(*emb);
+      cd.fingerprint = fp;
       cd.model_col = solver.add_column(
           0.0, 1.0, obj_scale * agg.demand * cd.unit_cost,
           column_entries(c, cd.usage));
@@ -218,18 +221,17 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
     OLIVE_ASSERT(res.status == lp::Status::Optimal);
   }
 
-  // Feed new columns back into the cache for future solves.
+  // Feed new columns back into the cache for future solves.  The bucket
+  // keeps its own fingerprint set, so membership is O(1) instead of
+  // re-fingerprinting the whole bucket every solve.
   if (cache) {
     for (int c = 0; c < n_classes; ++c) {
       auto& bucket = cache->bucket(aggregates[c].app, aggregates[c].ingress);
-      std::set<std::vector<int>> present;
-      for (const auto& cc : bucket)
-        present.insert(embedding_fingerprint(cc.embedding));
       for (const auto& cd : cand[c]) {
-        if (bucket.size() >= PlanColumnCache::kMaxPerBucket) break;
-        if (!present.insert(embedding_fingerprint(cd.embedding)).second)
-          continue;
-        bucket.push_back({cd.embedding, cd.usage, cd.unit_cost});
+        if (bucket.columns.size() >= PlanColumnCache::kMaxPerBucket) break;
+        if (!bucket.fingerprints.insert(cd.fingerprint).second) continue;
+        bucket.columns.push_back(
+            {cd.embedding, cd.usage, cd.unit_cost, cd.fingerprint});
       }
     }
   }

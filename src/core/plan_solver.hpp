@@ -22,6 +22,10 @@
 // class is starved — the paper's novel starvation-prevention device.
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
 #include "core/plan.hpp"
 #include "lp/simplex.hpp"
 #include "net/vnet.hpp"
@@ -57,9 +61,18 @@ class PlanColumnCache {
     net::Embedding embedding;
     Usage usage;
     double unit_cost = 0;
+    /// net::fingerprint64(embedding), cached so neither the seeding nor the
+    /// feedback path ever re-fingerprints a stored column.
+    std::uint64_t fingerprint = 0;
   };
 
-  std::vector<CachedColumn>& bucket(int app, net::NodeId ingress) {
+  struct Bucket {
+    std::vector<CachedColumn> columns;
+    /// Fingerprints of `columns`, for O(1) duplicate checks.
+    std::unordered_set<std::uint64_t> fingerprints;
+  };
+
+  Bucket& bucket(int app, net::NodeId ingress) {
     return buckets_[key(app, ingress)];
   }
 
@@ -69,9 +82,9 @@ class PlanColumnCache {
 
  private:
   static long long key(int app, net::NodeId ingress) {
-    return static_cast<long long>(app) * (1LL << 32) + ingress;
+    return class_key(app, ingress);
   }
-  std::unordered_map<long long, std::vector<CachedColumn>> buckets_;
+  std::unordered_map<long long, Bucket> buckets_;
 };
 
 /// The paper's conservative rejection penalty for application `app`: the

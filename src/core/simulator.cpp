@@ -118,6 +118,10 @@ SimMetrics run_online(const net::SubstrateNetwork& s,
   };
   std::unordered_map<int, Info> info;
   info.reserve(trace.size());
+  // id -> index into metrics.records, so preemption bookkeeping is O(1)
+  // instead of a linear rescan of every record per victim.
+  std::unordered_map<int, std::size_t> record_index;
+  if (config.record_requests) record_index.reserve(trace.size());
 
   // Departure calendar for accepted requests.
   std::vector<std::vector<const workload::Request*>> departures(
@@ -149,6 +153,7 @@ SimMetrics run_online(const net::SubstrateNetwork& s,
       metrics.algo_seconds += seconds_since(start);
 
       if (config.record_requests) {
+        record_index[r.id] = metrics.records.size();
         metrics.records.push_back({r.id, t, r.duration, r.app, r.ingress,
                                    r.demand, outcome.kind, -1});
       }
@@ -178,12 +183,9 @@ SimMetrics run_online(const net::SubstrateNetwork& s,
         alloc_diff[vdep] += vr.demand;  // ...instead of at its departure
         tally.preempted(vr, varr);
         if (config.record_requests) {
-          for (auto& rec : metrics.records) {
-            if (rec.id == victim_id) {
-              rec.preempted_at = t;
-              break;
-            }
-          }
+          const auto it = record_index.find(victim_id);
+          if (it != record_index.end())
+            metrics.records[it->second].preempted_at = t;
         }
       }
     }
@@ -229,43 +231,71 @@ SimMetrics run_slotoff(const net::SubstrateNetwork& s,
   metrics.offered_series = offered_series_from_trace(trace, base, n_slots);
   metrics.allocated_series.assign(n_slots, 0.0);
 
-  std::vector<const workload::Request*> active;
+  // (app, ingress) classes maintained incrementally: membership changes only
+  // on arrival, departure, and drop, instead of re-hashing every active
+  // request into fresh class_of/by_class structures each slot.  Members stay
+  // in arrival order, so per-class demand sums — and, after ordering the
+  // solver input by each class's oldest alive member below — the whole
+  // per-slot OFF-VNE instance match the former per-slot rebuild exactly.
+  struct SlotClass {
+    int app = -1;
+    net::NodeId ingress = -1;
+    std::vector<const workload::Request*> members;
+  };
+  std::unordered_map<long long, int> class_of;  // key -> index into classes
+  std::vector<SlotClass> classes;
+  const auto drop_from_class = [&](const workload::Request* r) {
+    auto& members = classes[class_of.at(class_key(r->app, r->ingress))].members;
+    return static_cast<long>(std::erase(members, r));
+  };
+  // Departure calendar; entries for already-dropped requests are no-ops.
+  std::vector<std::vector<const workload::Request*>> departures(
+      static_cast<std::size_t>(n_slots) + 1);
+  long n_active = 0;
+
   PlanColumnCache cache;
   std::size_t next = 0;
 
   for (int t = 0; t < n_slots; ++t) {
     // Departures, then this slot's arrivals.
-    std::erase_if(active, [&](const workload::Request* r) {
-      return r->departure() - base <= t;
-    });
-    std::vector<const workload::Request*> arrivals;
+    for (const workload::Request* r : departures[t]) n_active -= drop_from_class(r);
     while (next < trace.size() && trace[next].arrival - base == t) {
       const workload::Request& r = trace[next++];
       tally.offered(r, t);
-      arrivals.push_back(&r);
-      active.push_back(&r);
+      auto [it, inserted] = class_of.try_emplace(
+          class_key(r.app, r.ingress), static_cast<int>(classes.size()));
+      if (inserted) classes.push_back({r.app, r.ingress, {}});
+      classes[it->second].members.push_back(&r);
+      const int dep = r.departure() - base;
+      if (dep <= n_slots) departures[dep].push_back(&r);
+      ++n_active;
     }
-    if (active.empty()) continue;
+    if (n_active == 0) continue;
 
     const auto start = std::chrono::steady_clock::now();
 
     // Aggregate the slot's actual demand per class and solve OFF-VNE.
-    std::unordered_map<long long, int> class_of;
+    // Classes are ordered by their oldest alive member (trace position),
+    // which is the first-encounter order the per-slot rebuild produced.
+    std::vector<const SlotClass*> alive;
+    for (const auto& sc : classes)
+      if (!sc.members.empty()) alive.push_back(&sc);
+    std::sort(alive.begin(), alive.end(),
+              [](const SlotClass* a, const SlotClass* b) {
+                return a->members.front() < b->members.front();
+              });
     std::vector<AggregateRequest> aggs;
-    for (const workload::Request* r : active) {
-      const long long key =
-          static_cast<long long>(r->app) * (1LL << 32) + r->ingress;
-      auto [it, inserted] =
-          class_of.try_emplace(key, static_cast<int>(aggs.size()));
-      if (inserted) {
-        AggregateRequest agg;
-        agg.app = r->app;
-        agg.ingress = r->ingress;
-        aggs.push_back(agg);
+    std::vector<const std::vector<const workload::Request*>*> members_of;
+    for (const SlotClass* sc : alive) {
+      AggregateRequest agg;
+      agg.app = sc->app;
+      agg.ingress = sc->ingress;
+      for (const workload::Request* r : sc->members) {
+        agg.demand += r->demand;
+        agg.request_count += 1;
       }
-      auto& agg = aggs[it->second];
-      agg.demand += r->demand;
-      agg.request_count += 1;
+      aggs.push_back(agg);
+      members_of.push_back(&sc->members);
     }
     PlanSolveInfo solve_info;
     const Plan plan =
@@ -279,16 +309,10 @@ SimMetrics run_slotoff(const net::SubstrateNetwork& s,
     // Round the splittable plan onto individual requests: largest first,
     // first fitting column (capacity f_k·D_c and substrate feasibility).
     LoadTracker load(s);
-    std::vector<std::vector<const workload::Request*>> by_class(aggs.size());
-    for (const workload::Request* r : active)
-      by_class[class_of.at(static_cast<long long>(r->app) * (1LL << 32) +
-                           r->ingress)]
-          .push_back(r);
-
     double slot_cost = 0, slot_alloc = 0;
     std::vector<const workload::Request*> dropped;
     for (int c = 0; c < plan.num_classes(); ++c) {
-      auto reqs = by_class[c];
+      auto reqs = *members_of[c];
       std::sort(reqs.begin(), reqs.end(),
                 [](const auto* a, const auto* b) {
                   return a->demand > b->demand;
@@ -324,7 +348,7 @@ SimMetrics run_slotoff(const net::SubstrateNetwork& s,
       } else {
         tally.preempted(*r, arr);
       }
-      std::erase(active, r);
+      n_active -= drop_from_class(r);
     }
 
     metrics.allocated_series[t] = slot_alloc;

@@ -173,70 +173,157 @@ void Simplex::compute_basic_values() {
     for (std::size_t k = 0; k < col.rows.size(); ++k)
       v[col.rows[k]] -= col.vals[k] * val;
   }
-  for (int i = 0; i < n_rows_; ++i) {
-    double acc = 0;
-    const double* row = &binv_[static_cast<std::size_t>(i) * n_rows_];
-    for (int r = 0; r < n_rows_; ++r) acc += row[r] * v[r];
-    xb_[i] = acc;
+  // xb = B^-1 v = sum_r v[r] * column r of B^-1 (contiguous in the
+  // column-major layout).
+  xb_.assign(n_rows_, 0.0);
+  for (int r = 0; r < n_rows_; ++r) {
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    const double* colr = &binv_[static_cast<std::size_t>(r) * n_rows_];
+    for (int i = 0; i < n_rows_; ++i) xb_[i] += colr[i] * vr;
   }
 }
 
 void Simplex::compute_duals(const std::vector<double>& costs,
                             std::vector<double>& y) const {
-  y.assign(n_rows_, 0.0);
+  // y_j = sum_k c_B[k] * B^-1(k, j); column j of the layout is contiguous.
+  std::vector<double> cb(n_rows_);
+  bool any = false;
   for (int k = 0; k < n_rows_; ++k) {
-    const double cb = costs[basis_[k]];
-    if (cb == 0.0) continue;
-    const double* row = &binv_[static_cast<std::size_t>(k) * n_rows_];
-    for (int i = 0; i < n_rows_; ++i) y[i] += cb * row[i];
+    cb[k] = costs[basis_[k]];
+    any |= cb[k] != 0.0;
+  }
+  y.assign(n_rows_, 0.0);
+  if (!any) return;
+  for (int j = 0; j < n_rows_; ++j) {
+    const double* colj = &binv_[static_cast<std::size_t>(j) * n_rows_];
+    double acc = 0;
+    for (int k = 0; k < n_rows_; ++k) acc += cb[k] * colj[k];
+    y[j] = acc;
   }
 }
 
 void Simplex::ftran(const Column& col, std::vector<double>& out) const {
   out.assign(n_rows_, 0.0);
   for (std::size_t k = 0; k < col.rows.size(); ++k) {
-    const int r = col.rows[k];
     const double v = col.vals[k];
-    for (int i = 0; i < n_rows_; ++i)
-      out[i] += binv_[static_cast<std::size_t>(i) * n_rows_ + r] * v;
+    const double* colr =
+        &binv_[static_cast<std::size_t>(col.rows[k]) * n_rows_];
+    for (int i = 0; i < n_rows_; ++i) out[i] += colr[i] * v;
   }
 }
 
-int Simplex::price(const std::vector<double>& y, const std::vector<double>& costs,
-                   bool bland, int* direction) const {
+double Simplex::reduced_cost(int c, const std::vector<double>& y,
+                             const std::vector<double>& costs) const {
+  const Column& col = cols_[c];
+  double d = costs[c];
+  for (std::size_t k = 0; k < col.rows.size(); ++k)
+    d -= y[col.rows[k]] * col.vals[k];
+  return d;
+}
+
+bool Simplex::price_eligible(VarStatus st, double d, double* score,
+                             int* dir) const {
+  if (st == VarStatus::AtLower && d < -options_.opt_tol) {
+    *score = -d;
+    *dir = +1;
+    return true;
+  }
+  if (st == VarStatus::AtUpper && d > options_.opt_tol) {
+    *score = d;
+    *dir = -1;
+    return true;
+  }
+  return false;
+}
+
+int Simplex::price_full_scan(const std::vector<double>& y,
+                             const std::vector<double>& costs, bool bland,
+                             int* direction, double* entering_rc) {
   const int n = static_cast<int>(cols_.size());
+  const bool keep_candidates = !bland && options_.partial_pricing &&
+                               n >= options_.partial_pricing_min_cols;
+  scratch_eligible_.clear();
   int best = -1, best_dir = 0;
-  double best_score = options_.opt_tol;
+  double best_score = options_.opt_tol, best_rc = 0;
   for (int c = 0; c < n; ++c) {
     const VarStatus st = status_[c];
     if (st == VarStatus::Basic || st == VarStatus::Fixed) continue;
-    const Column& col = cols_[c];
-    double d = costs[c];
-    for (std::size_t k = 0; k < col.rows.size(); ++k)
-      d -= y[col.rows[k]] * col.vals[k];
-    double score = 0;
-    int dir = 0;
-    if (st == VarStatus::AtLower && d < -options_.opt_tol) {
-      score = -d;
-      dir = +1;
-    } else if (st == VarStatus::AtUpper && d > options_.opt_tol) {
-      score = d;
-      dir = -1;
-    } else {
-      continue;
-    }
+    const double d = reduced_cost(c, y, costs);
+    double score;
+    int dir;
+    if (!price_eligible(st, d, &score, &dir)) continue;
     if (bland) {  // first eligible index
       *direction = dir;
+      *entering_rc = d;
       return c;
     }
+    if (keep_candidates) scratch_eligible_.emplace_back(score, c);
     if (score > best_score) {
       best_score = score;
       best = c;
       best_dir = dir;
+      best_rc = d;
     }
   }
+  if (keep_candidates) {
+    // Seed the candidate list with the most attractive columns.
+    const std::size_t cap =
+        static_cast<std::size_t>(std::max(1, options_.candidate_list_size));
+    if (scratch_eligible_.size() > cap) {
+      std::nth_element(scratch_eligible_.begin(),
+                       scratch_eligible_.begin() + cap - 1,
+                       scratch_eligible_.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first > b.first;
+                       });
+      scratch_eligible_.resize(cap);
+    }
+    candidates_.clear();
+    for (const auto& [score, c] : scratch_eligible_) candidates_.push_back(c);
+  }
   *direction = best_dir;
+  *entering_rc = best_rc;
   return best;
+}
+
+int Simplex::price(const std::vector<double>& y, const std::vector<double>& costs,
+                   bool bland, int* direction, double* entering_rc) {
+  const int n = static_cast<int>(cols_.size());
+  if (bland || !options_.partial_pricing ||
+      n < options_.partial_pricing_min_cols) {
+    return price_full_scan(y, costs, bland, direction, entering_rc);
+  }
+
+  // Minor iteration: reprice just the candidates (exact reduced costs under
+  // the current duals), dropping the ones that are no longer attractive.
+  int best = -1, best_dir = 0;
+  double best_score = options_.opt_tol, best_rc = 0;
+  std::size_t kept = 0;
+  for (const int c : candidates_) {
+    const VarStatus st = status_[c];
+    if (st == VarStatus::Basic || st == VarStatus::Fixed) continue;
+    const double d = reduced_cost(c, y, costs);
+    double score;
+    int dir;
+    if (!price_eligible(st, d, &score, &dir)) continue;  // stale: drop
+    candidates_[kept++] = c;
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+      best_dir = dir;
+      best_rc = d;
+    }
+  }
+  candidates_.resize(kept);
+  if (best >= 0) {
+    *direction = best_dir;
+    *entering_rc = best_rc;
+    return best;
+  }
+  // Candidate list ran dry: full refresh.  Optimality is only ever declared
+  // here, after a clean scan of every column.
+  return price_full_scan(y, costs, /*bland=*/false, direction, entering_rc);
 }
 
 double Simplex::phase1_infeasibility() const {
@@ -302,7 +389,12 @@ void Simplex::refactorize() {
       }
     }
   }
-  binv_ = std::move(inv);
+  // `inv` is row-major; transpose into the column-major store.
+  binv_.resize(static_cast<std::size_t>(m) * m);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < m; ++j)
+      binv_[static_cast<std::size_t>(j) * m + i] =
+          inv[static_cast<std::size_t>(i) * m + j];
   compute_basic_values();
 }
 
@@ -315,7 +407,13 @@ SolveResult Simplex::run(bool phase1, long& iteration_budget) {
     for (std::size_t c = 0; c < cols_.size(); ++c) costs[c] = cols_[c].cost;
   }
 
-  std::vector<double> y, alpha;
+  // Duals for the current basis; kept incrementally up to date across
+  // pivots and recomputed only on refactorization.
+  std::vector<double> y;
+  compute_duals(costs, y);
+  candidates_.clear();  // cost vector changed: stale scores mean nothing
+
+  std::vector<double> alpha, rho(n_rows_);
   bool bland = false;
   int degenerate_run = 0;
   int pivots_since_refactor = 0;
@@ -328,9 +426,9 @@ SolveResult Simplex::run(bool phase1, long& iteration_budget) {
     if (phase1 && phase1_infeasibility() <= options_.feas_tol)
       return finish(Status::Optimal, iters);
 
-    compute_duals(costs, y);
     int dir = 0;
-    const int entering = price(y, costs, bland, &dir);
+    double entering_rc = 0;
+    const int entering = price(y, costs, bland, &dir, &entering_rc);
     if (entering < 0) return finish(Status::Optimal, iters);
 
     ftran(cols_[entering], alpha);
@@ -378,21 +476,19 @@ SolveResult Simplex::run(bool phase1, long& iteration_budget) {
     for (int i = 0; i < n_rows_; ++i) xb_[i] -= dir * t * alpha[i];
 
     if (leaving_row < 0) {
-      // Bound flip: the entering variable traverses its whole range.
+      // Bound flip: the entering variable traverses its whole range.  The
+      // basis (and hence the duals) is unchanged.
       status_[entering] = (dir > 0) ? VarStatus::AtUpper : VarStatus::AtLower;
       continue;
     }
 
     const int leaving = basis_[leaving_row];
-    const Column& lcol = cols_[leaving];
     if (artificial_[leaving]) {
       // Once an artificial leaves the basis it is locked out for good.
       cols_[leaving].lo = cols_[leaving].up = 0.0;
       status_[leaving] = VarStatus::Fixed;
     } else {
       status_[leaving] = leaving_at_upper ? VarStatus::AtUpper : VarStatus::AtLower;
-      // Guard: leaving variable lands exactly on a bound.
-      (void)lcol;
     }
     basis_pos_[leaving] = -1;
 
@@ -402,22 +498,34 @@ SolveResult Simplex::run(bool phase1, long& iteration_budget) {
     const double enter_from = (dir > 0) ? ecol.lo : ecol.up;
     xb_[leaving_row] = enter_from + dir * t;
 
-    // Gauss–Jordan update of the dense inverse.
+    // Rank-1 update of the column-major dense inverse, fused with the
+    // incremental dual update: with rho = row r of the old B^-1,
+    //   new row r   = rho / pivot
+    //   new row i   = old row i - alpha_i * (rho / pivot)      (i != r)
+    //   new duals y = y + (d_entering / pivot) * rho
+    // (the dual identity: the entering reduced cost must drop to zero and
+    // all other basic reduced costs stay zero).
     const double pivot = alpha[leaving_row];
     OLIVE_ASSERT(std::abs(pivot) > kPivotTol / 10);
-    double* prow = &binv_[static_cast<std::size_t>(leaving_row) * n_rows_];
     const double inv_pivot = 1.0 / pivot;
-    for (int j = 0; j < n_rows_; ++j) prow[j] *= inv_pivot;
-    for (int i = 0; i < n_rows_; ++i) {
-      if (i == leaving_row) continue;
-      const double f = alpha[i];
-      if (f == 0.0) continue;
-      double* row = &binv_[static_cast<std::size_t>(i) * n_rows_];
-      for (int j = 0; j < n_rows_; ++j) row[j] -= f * prow[j];
+    const double dual_step = entering_rc * inv_pivot;
+    const int m = n_rows_;
+    for (int j = 0; j < m; ++j)
+      rho[j] = binv_[static_cast<std::size_t>(j) * m + leaving_row];
+    for (int j = 0; j < m; ++j) {
+      const double rj = rho[j];
+      double* colj = &binv_[static_cast<std::size_t>(j) * m];
+      if (rj != 0.0) {
+        const double pr = rj * inv_pivot;
+        for (int i = 0; i < m; ++i) colj[i] -= alpha[i] * pr;
+        colj[leaving_row] = pr;  // the i == leaving_row entry, exactly
+        y[j] += dual_step * rj;
+      }
     }
 
     if (++pivots_since_refactor >= options_.refactor_every) {
       refactorize();
+      compute_duals(costs, y);
       pivots_since_refactor = 0;
     }
   }

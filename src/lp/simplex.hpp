@@ -4,12 +4,24 @@
 //  * Standard computational form: every row gets a slack column (bounds
 //    chosen from the row sense); phase 1 adds artificial columns only for
 //    rows whose initial slack value would violate its bounds.
-//  * The basis inverse is kept as a dense matrix, updated by Gauss–Jordan
+//  * The basis inverse is kept as a dense matrix in column-major order
+//    (entry (i, j) of B^-1 lives at binv_[j*m + i]), updated by Gauss–Jordan
 //    pivots and refactorized periodically to bound numerical drift.  The
-//    master problems this library solves have a few hundred rows, for which
-//    a dense inverse is both simple and fast.
-//  * Dantzig pricing with an automatic switch to Bland's rule after a run of
-//    degenerate pivots, which guarantees termination.
+//    column-major layout makes every hot loop — FTRAN, BTRAN/duals, basic
+//    values, and the rank-1 pivot update — a stride-1 traversal.  The master
+//    problems this library solves have a few hundred rows, for which a dense
+//    inverse is both simple and fast.
+//  * Duals are maintained incrementally: a pivot updates y with the leaving
+//    row of the old inverse (y += (d_q/alpha_r) * rho_r) instead of
+//    recomputing c_B^T B^-1 from scratch each iteration; a full recompute
+//    happens only at (re)starts and refactorizations.
+//  * Pricing is candidate-list partial pricing: a full Dantzig scan runs
+//    only when the candidate list is exhausted and seeds the list with the
+//    most attractive nonbasic columns; minor iterations reprice just the
+//    candidates (their exact reduced costs under the current duals).
+//    Optimality is still only declared after a clean full scan.  An
+//    automatic switch to Bland's rule (full scan, lowest eligible index)
+//    after a run of degenerate pivots guarantees termination.
 //  * Columns can be appended between solves (add_column/resolve), which is
 //    what the PLAN-VNE column-generation loop uses for warm starts.
 #pragma once
@@ -44,6 +56,14 @@ struct SimplexOptions {
   double opt_tol = 1e-9;
   /// Refactorize the basis inverse every this many pivots.
   int refactor_every = 128;
+  /// Candidate-list partial pricing (full Dantzig scan only when the list
+  /// runs dry).  Identical optima either way; this is purely a speed knob.
+  bool partial_pricing = true;
+  /// How many columns a full scan keeps as candidates.
+  int candidate_list_size = 128;
+  /// Below this many columns every iteration scans everything: the list
+  /// bookkeeping costs more than it saves on small LPs.
+  int partial_pricing_min_cols = 192;
 };
 
 class Simplex {
@@ -81,8 +101,22 @@ class Simplex {
   void compute_basic_values();
   void compute_duals(const std::vector<double>& costs, std::vector<double>& y) const;
   void ftran(const Column& col, std::vector<double>& out) const;
+  /// Exact reduced cost of column c under duals y.
+  double reduced_cost(int c, const std::vector<double>& y,
+                      const std::vector<double>& costs) const;
+  /// Entering eligibility of a nonbasic column with reduced cost d: fills
+  /// the improvement score and movement direction, or returns false.
+  /// Shared by full scans and candidate minor iterations so the two loops
+  /// can never disagree on what counts as an attractive column.
+  bool price_eligible(VarStatus st, double d, double* score, int* dir) const;
+  /// Picks the entering column.  Returns -1 at optimality; otherwise sets
+  /// *direction (+1 entering from lower, -1 from upper) and *entering_rc to
+  /// the column's exact reduced cost (used for the incremental dual update).
   int price(const std::vector<double>& y, const std::vector<double>& costs,
-            bool bland, int* direction) const;
+            bool bland, int* direction, double* entering_rc);
+  int price_full_scan(const std::vector<double>& y,
+                      const std::vector<double>& costs, bool bland,
+                      int* direction, double* entering_rc);
   SolveResult run(bool phase1, long& iteration_budget);
   void refactorize();
   double phase1_infeasibility() const;
@@ -102,7 +136,9 @@ class Simplex {
   std::vector<int> basis_;          // row position -> internal column index
   std::vector<int> basis_pos_;      // internal column index -> row pos or -1
   std::vector<double> xb_;          // basic values by row position
-  std::vector<double> binv_;        // dense row-major n_rows_ x n_rows_
+  std::vector<double> binv_;        // dense B^-1, column-major: (i,j) at [j*m+i]
+  std::vector<int> candidates_;     // partial-pricing candidate columns
+  std::vector<std::pair<double, int>> scratch_eligible_;  // refresh scratch
   bool has_basis_ = false;
 };
 

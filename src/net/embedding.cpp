@@ -22,6 +22,27 @@ bool placement_allowed(const SubstrateNetwork& s, const VirtualNetwork& vn,
   return std::isfinite(eta(s, vn, vnode, v));
 }
 
+std::uint64_t fingerprint64(const Embedding& e) noexcept {
+  // FNV-1a over the int sequence node_map, then per path a separator and
+  // its links.  The separator keeps path boundaries unambiguous (node and
+  // link ids are non-negative).
+  constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (value >> (8 * byte)) & 0xffu;
+      h *= kPrime;
+    }
+  };
+  for (const NodeId v : e.node_map) mix(static_cast<std::uint64_t>(v));
+  for (const auto& path : e.link_paths) {
+    mix(~0ull);  // separator (no valid id encodes to this)
+    for (const LinkId l : path) mix(static_cast<std::uint64_t>(l));
+  }
+  return h;
+}
+
 std::vector<std::pair<int, double>> unit_usage(const SubstrateNetwork& s,
                                                const VirtualNetwork& vn,
                                                const Embedding& e) {

@@ -10,6 +10,7 @@
 // the mechanism the paper describes for constraining placement.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "net/substrate.hpp"
@@ -35,6 +36,14 @@ struct Embedding {
   /// the parent's node to the child's node; empty if both ends collocate.
   std::vector<std::vector<LinkId>> link_paths;
 };
+
+/// 64-bit FNV-1a fingerprint over the node map and link paths.  Used to
+/// deduplicate generated columns in O(1) (hash-set membership) instead of
+/// materializing and ordering full embedding copies.  A collision merely
+/// drops one duplicate-looking column from the pool — it cannot corrupt a
+/// plan — and at the pool sizes involved (thousands of columns) the
+/// 64-bit collision probability is negligible.
+std::uint64_t fingerprint64(const Embedding& e) noexcept;
 
 /// Per-unit-demand resource usage of an embedding, aggregated per substrate
 /// element (flat element indexing): entries (element, Σ β_q · η).

@@ -65,6 +65,25 @@ AllPairsShortestPaths::AllPairsShortestPaths(
     trees_.push_back(dijkstra(s, v, link_weight));
 }
 
+LazyShortestPaths::LazyShortestPaths(const SubstrateNetwork& s,
+                                     std::vector<double> link_weight)
+    : s_(&s), link_weight_(std::move(link_weight)) {
+  OLIVE_REQUIRE(static_cast<int>(link_weight_.size()) == s.num_links(),
+                "link weight vector size mismatch");
+  trees_.resize(s.num_nodes());
+  computed_.assign(s.num_nodes(), 0);
+}
+
+const ShortestPathTree& LazyShortestPaths::tree(NodeId src) const {
+  OLIVE_REQUIRE(src >= 0 && src < s_->num_nodes(), "source out of range");
+  if (!computed_[src]) {
+    trees_[src] = dijkstra(*s_, src, link_weight_);
+    computed_[src] = 1;
+    ++computed_count_;
+  }
+  return trees_[src];
+}
+
 std::vector<double> link_cost_weights(const SubstrateNetwork& s) {
   std::vector<double> w(s.num_links());
   for (LinkId l = 0; l < s.num_links(); ++l) w[l] = s.link(l).cost;

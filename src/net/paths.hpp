@@ -30,7 +30,7 @@ ShortestPathTree dijkstra(
     const SubstrateNetwork& s, NodeId src, const std::vector<double>& link_weight,
     const std::function<bool(LinkId)>& usable = {});
 
-/// All-pairs distances/trees (one Dijkstra per node).
+/// All-pairs distances/trees (one Dijkstra per node, all computed eagerly).
 class AllPairsShortestPaths {
  public:
   AllPairsShortestPaths(const SubstrateNetwork& s,
@@ -44,6 +44,34 @@ class AllPairsShortestPaths {
 
  private:
   std::vector<ShortestPathTree> trees_;
+};
+
+/// Memoized per-source shortest paths: a source's Dijkstra tree is computed
+/// the first time it is queried and cached for the lifetime of the object.
+/// The PLAN-VNE pricing step builds one of these per dual update and only
+/// pays for the sources its tree-DP actually touches (restricted placements,
+/// single-node apps, and warm-started rounds query far fewer than all).
+/// Answers are identical to AllPairsShortestPaths on the same weights.
+class LazyShortestPaths {
+ public:
+  LazyShortestPaths(const SubstrateNetwork& s,
+                    std::vector<double> link_weight);
+
+  const ShortestPathTree& tree(NodeId src) const;
+  double dist(NodeId a, NodeId b) const { return tree(a).dist[b]; }
+  std::vector<LinkId> path(NodeId a, NodeId b) const {
+    return tree(a).path_to(b);
+  }
+
+  /// How many source trees have been computed so far (observability).
+  int computed_sources() const noexcept { return computed_count_; }
+
+ private:
+  const SubstrateNetwork* s_;
+  std::vector<double> link_weight_;
+  mutable std::vector<ShortestPathTree> trees_;
+  mutable std::vector<char> computed_;
+  mutable int computed_count_ = 0;
 };
 
 /// Per-link weight vector `cost(l)` (the plain resource-cost metric).

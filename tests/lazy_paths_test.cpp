@@ -1,0 +1,65 @@
+// LazyShortestPaths must answer exactly like the eager AllPairsShortestPaths
+// on the same weights — on the seed evaluation topologies, not just toys —
+// while computing only the source trees that are actually queried.
+#include <gtest/gtest.h>
+
+#include "net/paths.hpp"
+#include "topo/topologies.hpp"
+#include "util/rng.hpp"
+
+namespace olive::net {
+namespace {
+
+TEST(LazyShortestPaths, MatchesEagerOnEvaluationTopologies) {
+  Rng rng(stable_hash("lazy-paths"));
+  for (const auto& [name, s] : topo::evaluation_topologies(rng)) {
+    const auto weights = link_cost_weights(s);
+    const AllPairsShortestPaths eager(s, weights);
+    const LazyShortestPaths lazy(s, weights);
+    for (NodeId a = 0; a < s.num_nodes(); ++a) {
+      for (NodeId b = 0; b < s.num_nodes(); ++b) {
+        ASSERT_DOUBLE_EQ(eager.dist(a, b), lazy.dist(a, b))
+            << name << " " << a << "->" << b;
+        if (a != b && eager.tree(a).reachable(b)) {
+          // Identical trees, not merely equal path lengths: the pricing DP
+          // reconstructs embeddings from them and must not drift.
+          ASSERT_EQ(eager.path(a, b), lazy.path(a, b))
+              << name << " " << a << "->" << b;
+        }
+      }
+    }
+    EXPECT_EQ(lazy.computed_sources(), s.num_nodes());
+  }
+}
+
+TEST(LazyShortestPaths, MatchesEagerUnderRandomWeights) {
+  Rng rng(stable_hash("lazy-paths-weights"));
+  auto s = topo::citta_studi(rng);
+  for (int draw = 0; draw < 5; ++draw) {
+    std::vector<double> w(s.num_links());
+    for (auto& x : w) x = rng.uniform(0.0, 3.0);  // includes ~0 weights
+    const AllPairsShortestPaths eager(s, w);
+    const LazyShortestPaths lazy(s, w);
+    for (NodeId a = 0; a < s.num_nodes(); ++a)
+      for (NodeId b = 0; b < s.num_nodes(); ++b)
+        ASSERT_DOUBLE_EQ(eager.dist(a, b), lazy.dist(a, b)) << draw;
+  }
+}
+
+TEST(LazyShortestPaths, ComputesOnlyQueriedSources) {
+  Rng rng(stable_hash("lazy-paths-lazy"));
+  const auto s = topo::iris(rng);
+  const LazyShortestPaths lazy(s, link_cost_weights(s));
+  EXPECT_EQ(lazy.computed_sources(), 0);
+  (void)lazy.dist(3, 7);
+  EXPECT_EQ(lazy.computed_sources(), 1);
+  (void)lazy.dist(3, 9);  // same source: memoized
+  EXPECT_EQ(lazy.computed_sources(), 1);
+  (void)lazy.path(5, 3);
+  EXPECT_EQ(lazy.computed_sources(), 2);
+  (void)lazy.tree(3);
+  EXPECT_EQ(lazy.computed_sources(), 2);
+}
+
+}  // namespace
+}  // namespace olive::net
