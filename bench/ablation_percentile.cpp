@@ -19,19 +19,24 @@ int main() {
   for (const double alpha : {50.0, 80.0, 95.0, 100.0}) {
     auto cfg = bench::base_config(scale, "Iris", 1.0);
     cfg.aggregation.alpha = alpha;
+    const auto rows = bench::map_repetitions(
+        cfg, scale.reps,
+        [&](const core::Scenario& sc, int rep) -> std::array<double, 3> {
+          const auto m = core::run_algorithm(sc, "OLIVE");
+          Rng crng(cfg.seed + 17 * rep);  // per-rep conformance stream
+          core::AggregationConfig acfg = cfg.aggregation;
+          acfg.horizon = cfg.trace.plan_slots;
+          const auto report = core::demand_conformance(
+              sc.history, sc.online, static_cast<int>(sc.apps.size()),
+              sc.substrate.num_nodes(), acfg, crng);
+          return {m.rejection_rate(), m.total_cost(),
+                  report.conforming_fraction()};
+        });
     std::vector<double> rej, cost, conf;
-    for (int rep = 0; rep < scale.reps; ++rep) {
-      const core::Scenario sc = core::build_scenario(cfg, rep);
-      const auto m = core::run_algorithm(sc, "OLIVE");
-      rej.push_back(m.rejection_rate());
-      cost.push_back(m.total_cost());
-      Rng crng(cfg.seed + 17 * rep);
-      core::AggregationConfig acfg = cfg.aggregation;
-      acfg.horizon = cfg.trace.plan_slots;
-      const auto report = core::demand_conformance(
-          sc.history, sc.online, static_cast<int>(sc.apps.size()),
-          sc.substrate.num_nodes(), acfg, crng);
-      conf.push_back(report.conforming_fraction());
+    for (const auto& r : rows) {
+      rej.push_back(r[0]);
+      cost.push_back(r[1]);
+      conf.push_back(r[2]);
     }
     bench::stream_row(table,
                       {Table::num(alpha, 0), bench::pct(stats::mean_ci(rej)),

@@ -7,16 +7,26 @@
 //   * full  (OLIVE_REPRO_FULL=1): the paper's 6000-slot traces with
 //     5400-slot histories and more repetitions.
 // OLIVE_BENCH_REPS=<n> overrides the repetition count at either scale.
+//
+// Repetitions run in parallel on the shared thread pool (OLIVE_THREADS
+// controls the width; 1 disables it).  Each repetition owns its RNG streams
+// — build_scenario(cfg, rep) forks them from (seed, rep) — and results are
+// collected into per-rep slots and consumed in rep order, so every CSV row,
+// table, and aggregate is byte-identical at any thread count.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/scenario.hpp"
 #include "stats/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace olive::bench {
 
@@ -70,19 +80,57 @@ struct AggregatedResult {
   stats::MeanCi algo_seconds;
 };
 
-/// Runs `algorithm` for `reps` repetitions of `cfg` and aggregates.
+/// Harness-level parallelism (scenario repetitions).  Same knob as pricing:
+/// OLIVE_THREADS, defaulting to hardware concurrency.
+inline int harness_threads() { return default_thread_count(); }
+
+/// Builds repetitions 0..reps-1 of `cfg` and maps `fn(scenario, rep)` over
+/// them on the shared thread pool, returning the results **in rep order**
+/// regardless of scheduling.  This is the one place benches set up
+/// per-repetition scenarios/RNG streams; per-bench code only supplies the
+/// metric extraction.  `fn` must be safe to call concurrently on distinct
+/// repetitions (every bench metric is a pure function of one scenario run).
+template <class Fn>
+auto map_repetitions(const core::ScenarioConfig& cfg, int reps, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, const core::Scenario&, int>> {
+  using R = std::invoke_result_t<Fn&, const core::Scenario&, int>;
+  // vector<bool> packs elements into shared bytes, so concurrent per-rep
+  // writes would race; return e.g. int or a struct instead.
+  static_assert(!std::is_same_v<R, bool>,
+                "map_repetitions cannot return bool (vector<bool> slots are "
+                "not safe to write concurrently)");
+  std::vector<R> out(static_cast<std::size_t>(std::max(0, reps)));
+  const int threads = harness_threads();
+  ThreadPool& pool = ThreadPool::global();
+  if (threads > 1) pool.ensure_workers(threads - 1);
+  pool.parallel_for(
+      reps,
+      [&](int rep) {
+        const core::Scenario sc = core::build_scenario(cfg, rep);
+        out[rep] = fn(sc, rep);
+      },
+      threads);
+  return out;
+}
+
+/// Runs `algorithm` for `reps` repetitions of `cfg` (in parallel, see
+/// map_repetitions) and aggregates.
 inline AggregatedResult run_repetitions(const core::ScenarioConfig& cfg,
                                         const std::string& algorithm,
                                         int reps) {
+  const auto rows = map_repetitions(
+      cfg, reps, [&](const core::Scenario& sc, int) -> std::array<double, 5> {
+        const auto m = core::run_algorithm(sc, algorithm);
+        return {m.rejection_rate(), m.total_cost(), m.resource_cost,
+                m.rejection_cost, m.algo_seconds};
+      });
   std::vector<double> rej, cost, rcost, jcost, secs;
-  for (int rep = 0; rep < reps; ++rep) {
-    const core::Scenario sc = core::build_scenario(cfg, rep);
-    const auto m = core::run_algorithm(sc, algorithm);
-    rej.push_back(m.rejection_rate());
-    cost.push_back(m.total_cost());
-    rcost.push_back(m.resource_cost);
-    jcost.push_back(m.rejection_cost);
-    secs.push_back(m.algo_seconds);
+  for (const auto& r : rows) {
+    rej.push_back(r[0]);
+    cost.push_back(r[1]);
+    rcost.push_back(r[2]);
+    jcost.push_back(r[3]);
+    secs.push_back(r[4]);
   }
   return {stats::mean_ci(rej), stats::mean_ci(cost), stats::mean_ci(rcost),
           stats::mean_ci(jcost), stats::mean_ci(secs)};

@@ -17,13 +17,12 @@ int main() {
   auto balance_of = [&](const std::string& algo, int quantiles) {
     auto cfg = bench::base_config(scale, "Iris", 1.4);
     cfg.plan.quantiles = quantiles;
-    std::vector<double> vals;
-    for (int rep = 0; rep < scale.reps; ++rep) {
-      const core::Scenario sc = core::build_scenario(cfg, rep);
-      const auto m = core::run_algorithm(sc, algo);
-      vals.push_back(stats::rejection_balance_index(m.rejected_by_node_app,
-                                                    m.requests_by_node));
-    }
+    const auto vals = bench::map_repetitions(
+        cfg, scale.reps, [&](const core::Scenario& sc, int) {
+          const auto m = core::run_algorithm(sc, algo);
+          return stats::rejection_balance_index(m.rejected_by_node_app,
+                                                m.requests_by_node);
+        });
     return stats::mean_ci(vals);
   };
 

@@ -8,7 +8,12 @@
 // how to diff runs.
 //
 // Knobs: OLIVE_PERF_OUT=<path> (default BENCH_perf.json in the CWD),
-// OLIVE_REPRO_FULL=1 for the paper-scale horizon, OLIVE_BENCH_REPS=<n>.
+// OLIVE_REPRO_FULL=1 for the paper-scale horizon, OLIVE_BENCH_REPS=<n>,
+// OLIVE_THREADS=<n> for the pricing thread count (1 = exact serial path;
+// results are bit-identical either way, only wall-clock moves).  The
+// timed repetitions themselves always run serially — parallel reps would
+// contend with pricing workers and corrupt the timings — so
+// harness_threads is recorded as 1 here.
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -46,11 +51,13 @@ std::string json_num(double v) {
 }
 
 void write_json(const std::string& path, const olive::bench::BenchScale& scale,
-                const std::vector<PerfCase>& cases) {
+                int pricing_threads, const std::vector<PerfCase>& cases) {
   std::ofstream out(path);
   out << "{\n"
-      << "  \"schema\": \"olive-perf-v1\",\n"
+      << "  \"schema\": \"olive-perf-v2\",\n"
       << "  \"scale\": \"" << (scale.full ? "full" : "quick") << "\",\n"
+      << "  \"pricing_threads\": " << pricing_threads << ",\n"
+      << "  \"harness_threads\": 1,\n"
       << "  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const PerfCase& c = cases[i];
@@ -84,6 +91,9 @@ int main() {
   const char* out_env = std::getenv("OLIVE_PERF_OUT");
   const std::string out_path = out_env ? out_env : "BENCH_perf.json";
 
+  const int pricing_threads = olive::default_thread_count();
+  std::cout << "# pricing_threads=" << pricing_threads
+            << " harness_threads=1\n";
   std::vector<PerfCase> cases;
   std::cout << "case,topology,reps,seconds_total,simplex_iterations,"
                "pricing_rounds,columns_generated,objective\n";
@@ -166,7 +176,7 @@ int main() {
                 << "," << json_num(it->objective) << std::endl;
   }
 
-  write_json(out_path, scale, cases);
+  write_json(out_path, scale, pricing_threads, cases);
   std::cout << "# wrote " << out_path << "\n";
   return 0;
 }

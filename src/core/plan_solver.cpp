@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -10,8 +11,50 @@
 #include "lp/model.hpp"
 #include "net/paths.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace olive::core {
+
+namespace {
+
+/// Classes that share an application, in first-encounter class order.  The
+/// ingress-independent tree-DP is the expensive part of pricing, so the
+/// parallel grain is one application (its DP plus every embed/reduced-cost
+/// evaluation of its classes), not one class.
+struct AppGroup {
+  int app = -1;
+  std::vector<int> classes;
+};
+
+std::vector<AppGroup> group_by_app(
+    const std::vector<AggregateRequest>& aggregates,
+    const std::function<bool(int)>& include_class) {
+  std::vector<AppGroup> groups;
+  std::unordered_map<int, int> slot;
+  for (int c = 0; c < static_cast<int>(aggregates.size()); ++c) {
+    if (!include_class(c)) continue;
+    const auto [it, inserted] =
+        slot.try_emplace(aggregates[c].app, static_cast<int>(groups.size()));
+    if (inserted) groups.push_back({aggregates[c].app, {}});
+    groups[it->second].classes.push_back(c);
+  }
+  return groups;
+}
+
+/// One class's pricing result for a round (or the initial min-cost pass).
+/// Everything here is a pure function of (substrate, app topology, costs,
+/// ingress), computed independently per class — the scheduling of the tasks
+/// that fill these slots cannot change their contents.
+struct PricedClass {
+  bool feasible = false;
+  net::Embedding embedding;
+  Usage usage;
+  double unit_cost = 0;
+  double unit_eff = 0;  ///< Σ usage·effective cost (rounds only)
+  std::uint64_t fingerprint = 0;
+};
+
+}  // namespace
 
 double default_psi(const net::SubstrateNetwork& s,
                    const net::VirtualNetwork& app) {
@@ -53,13 +96,64 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
                              : default_psi(s, apps[agg.app].topology);
   }
 
+  // Pricing parallelism.  Tasks are one-per-application (DP build + every
+  // embed of that app's classes) and write into per-class slots; every
+  // ordering-sensitive step — dedup, reduced-cost filtering, column
+  // insertion into the master — happens afterwards on this thread in fixed
+  // class order.  That makes the solve bit-identical at any thread count;
+  // `threads == 1` never touches the pool (parallel_for degenerates to a
+  // plain inline loop).
+  const int threads =
+      std::max(1, config.threads > 0 ? config.threads : default_thread_count());
+  ThreadPool& pool = ThreadPool::global();
+  if (threads > 1) pool.ensure_workers(threads - 1);
+
+  std::vector<PricedClass> priced(n_classes);
+  // Prices every group's classes against read-only `costs`/`paths`
+  // snapshots.  When `eff` is non-null also accumulates the dual-adjusted
+  // unit cost (the reduced-cost numerator) inside the task.
+  const auto price_groups = [&](const std::vector<AppGroup>& groups,
+                                const EffectiveCosts& costs,
+                                const net::LazyShortestPaths& paths,
+                                bool with_eff) {
+    pool.parallel_for(
+        static_cast<int>(groups.size()),
+        [&](int gi) {
+          const AppGroup& g = groups[gi];
+          const net::VirtualNetwork& topo = apps[g.app].topology;
+          const MinCostTreeDP dp(s, topo, costs, paths);
+          for (const int c : g.classes) {
+            PricedClass& pr = priced[c];
+            pr.feasible = false;
+            auto emb = dp.embed(aggregates[c].ingress);
+            if (!emb) continue;
+            pr.usage = net::unit_usage(s, topo, *emb);
+            pr.unit_cost = net::unit_cost(s, topo, *emb);
+            pr.fingerprint = net::fingerprint64(*emb);
+            if (with_eff) {
+              double unit_eff = 0;
+              for (const auto& [elem, amount] : pr.usage) {
+                const double element_eff =
+                    s.element_is_node(elem)
+                        ? costs.node_cost[elem]
+                        : costs.link_weight[elem - s.num_nodes()];
+                unit_eff += amount * element_eff;
+              }
+              pr.unit_eff = unit_eff;
+            }
+            pr.embedding = std::move(*emb);
+            pr.feasible = true;
+          }
+        },
+        threads);
+  };
+
   // Initial columns: the min-cost embedding under plain element costs.  The
   // tree-DP tables are ingress-independent, so one DP per application serves
   // every class of that application; shortest-path trees are computed
   // lazily, only for the sources the DPs actually query.
   const EffectiveCosts plain = EffectiveCosts::plain(s);
   const net::LazyShortestPaths plain_paths(s, plain.link_weight);
-  std::unordered_map<int, MinCostTreeDP> plain_dp;
   struct Candidate {
     net::Embedding embedding;
     Usage usage;
@@ -70,19 +164,18 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
   std::vector<std::vector<Candidate>> cand(n_classes);
   std::vector<std::unordered_set<std::uint64_t>> seen(n_classes);
   double max_obj_coeff = 1.0;
+  const std::vector<AppGroup> all_groups =
+      group_by_app(aggregates, [](int) { return true; });
+  price_groups(all_groups, plain, plain_paths, /*with_eff=*/false);
   for (int c = 0; c < n_classes; ++c) {
     const auto& agg = aggregates[c];
-    const MinCostTreeDP& dp =
-        plain_dp.try_emplace(agg.app, s, apps[agg.app].topology, plain,
-                             plain_paths)
-            .first->second;
-    auto emb = dp.embed(agg.ingress);
-    if (!emb) continue;  // no feasible placement anywhere: rejection-only
+    if (!priced[c].feasible)
+      continue;  // no feasible placement anywhere: rejection-only
     Candidate cd;
-    cd.usage = net::unit_usage(s, apps[agg.app].topology, *emb);
-    cd.unit_cost = net::unit_cost(s, apps[agg.app].topology, *emb);
-    cd.embedding = std::move(*emb);
-    cd.fingerprint = net::fingerprint64(cd.embedding);
+    cd.usage = std::move(priced[c].usage);
+    cd.unit_cost = priced[c].unit_cost;
+    cd.embedding = std::move(priced[c].embedding);
+    cd.fingerprint = priced[c].fingerprint;
     seen[c].insert(cd.fingerprint);
     max_obj_coeff = std::max(max_obj_coeff, agg.demand * cd.unit_cost);
     max_obj_coeff = std::max(max_obj_coeff, agg.demand * psi[c] * P);
@@ -155,7 +248,12 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
   OLIVE_ASSERT(res.status == lp::Status::Optimal);  // all-reject is feasible
 
   PlanSolveInfo local_info;
+  local_info.pricing_threads = threads;
   local_info.simplex_iterations += res.iterations;
+  // Classes with no feasible placement never price (their candidate pools
+  // are empty for good), so the per-round grouping is fixed up front.
+  const std::vector<AppGroup> active_groups =
+      group_by_app(aggregates, [&](int c) { return !cand[c].empty(); });
   int round = 0;
   for (; round < config.max_rounds; ++round) {
     // Dual-adjusted effective element costs (π <= 0 on capacity rows, so
@@ -173,41 +271,29 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
       eff.link_weight[l] = std::max(
           0.0, obj_scale * s.link(l).cost - res.duals[e] / s.element_capacity(e));
     }
-    // Lazy trees + one ingress-independent DP per application per round.
+    // Lazy trees + one ingress-independent DP per application per round,
+    // priced app-parallel against the read-only dual snapshot in `eff`.
     const net::LazyShortestPaths paths(s, eff.link_weight);
-    std::unordered_map<int, MinCostTreeDP> dp_by_app;
+    price_groups(active_groups, eff, paths, /*with_eff=*/true);
 
+    // Merge in fixed class order: the reduced-cost filter, the per-class
+    // dedup, and — crucially — the order columns enter the master are all
+    // independent of which worker priced what.
     int added = 0;
     for (int c = 0; c < n_classes; ++c) {
-      if (cand[c].empty()) continue;  // no feasible placement at all
+      if (cand[c].empty() || !priced[c].feasible) continue;
       const auto& agg = aggregates[c];
-      const MinCostTreeDP& dp =
-          dp_by_app
-              .try_emplace(agg.app, s, apps[agg.app].topology, eff, paths)
-              .first->second;
-      auto emb = dp.embed(agg.ingress);
-      if (!emb) continue;
       // Reduced cost in scaled units: d_c·unitEffCost − μ_c.
-      const Usage usage = net::unit_usage(s, apps[agg.app].topology, *emb);
-      double unit_eff = 0;
-      for (const auto& [elem, amount] : usage) {
-        const double element_eff =
-            s.element_is_node(elem)
-                ? eff.node_cost[elem]
-                : eff.link_weight[elem - s.num_nodes()];
-        unit_eff += amount * element_eff;
-      }
       const double mu = res.duals[convexity_row[c]];
-      const double rc = agg.demand * unit_eff - mu;
+      const double rc = agg.demand * priced[c].unit_eff - mu;
       if (rc >= -config.reduced_cost_tol) continue;
-      const std::uint64_t fp = net::fingerprint64(*emb);
-      if (!seen[c].insert(fp).second) continue;  // duplicate
+      if (!seen[c].insert(priced[c].fingerprint).second) continue;  // dup
 
       Candidate cd;
-      cd.usage = usage;
-      cd.unit_cost = net::unit_cost(s, apps[agg.app].topology, *emb);
-      cd.embedding = std::move(*emb);
-      cd.fingerprint = fp;
+      cd.usage = std::move(priced[c].usage);
+      cd.unit_cost = priced[c].unit_cost;
+      cd.embedding = std::move(priced[c].embedding);
+      cd.fingerprint = priced[c].fingerprint;
       cd.model_col = solver.add_column(
           0.0, 1.0, obj_scale * agg.demand * cd.unit_cost,
           column_entries(c, cd.usage));

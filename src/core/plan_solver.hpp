@@ -40,6 +40,16 @@ struct PlanVneConfig {
   double psi = -1.0;
   int max_rounds = 60;          ///< column-generation round limit
   double reduced_cost_tol = 1e-7;
+  /// Pricing parallelism: tree-DP + column search run per application on
+  /// the shared thread pool.  0 selects olive::default_thread_count()
+  /// (OLIVE_THREADS env, else hardware concurrency); 1 forces the exact
+  /// serial path (plain inline loops, no pool involvement).  Results are
+  /// bit-identical at every thread count — candidate columns are merged
+  /// into the master in fixed class order, so the simplex pivot
+  /// trajectory, objective, and column cache contents never depend on
+  /// scheduling (see docs/parallelism.md and
+  /// tests/parallel_determinism_test.cpp).
+  int threads = 0;
   lp::SimplexOptions lp;
 };
 
@@ -49,6 +59,9 @@ struct PlanSolveInfo {
   long simplex_iterations = 0;  ///< summed over the initial solve + resolves
   lp::Status status = lp::Status::Optimal;
   double objective = 0;
+  /// Resolved pricing thread count this solve ran with (>= 1).  Purely
+  /// informational: every other field is identical at any thread count.
+  int pricing_threads = 1;
 };
 
 /// Cross-solve column cache.  Embeddings generated for a class (app,

@@ -71,16 +71,17 @@ LazyShortestPaths::LazyShortestPaths(const SubstrateNetwork& s,
   OLIVE_REQUIRE(static_cast<int>(link_weight_.size()) == s.num_links(),
                 "link weight vector size mismatch");
   trees_.resize(s.num_nodes());
-  computed_.assign(s.num_nodes(), 0);
+  once_ = std::make_unique<std::once_flag[]>(s.num_nodes());
 }
 
 const ShortestPathTree& LazyShortestPaths::tree(NodeId src) const {
   OLIVE_REQUIRE(src >= 0 && src < s_->num_nodes(), "source out of range");
-  if (!computed_[src]) {
+  // call_once publishes the tree to every thread; losers of the race block
+  // until the winner finishes, then read the same memoized tree.
+  std::call_once(once_[src], [&] {
     trees_[src] = dijkstra(*s_, src, link_weight_);
-    computed_[src] = 1;
-    ++computed_count_;
-  }
+    computed_count_.fetch_add(1, std::memory_order_relaxed);
+  });
   return trees_[src];
 }
 

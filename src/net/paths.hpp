@@ -6,7 +6,10 @@
 // LP duals change the effective link costs.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "net/substrate.hpp"
@@ -52,6 +55,13 @@ class AllPairsShortestPaths {
 /// pays for the sources its tree-DP actually touches (restricted placements,
 /// single-node apps, and warm-started rounds query far fewer than all).
 /// Answers are identical to AllPairsShortestPaths on the same weights.
+///
+/// Thread safety: concurrent tree()/dist()/path() calls are safe, including
+/// races on the same source — a per-source once-latch guarantees each tree
+/// is computed exactly once and published to every thread.  (Dijkstra is a
+/// pure function of the weights, so which thread computes a tree cannot
+/// change its contents; this is what keeps parallel pricing bit-identical
+/// to serial pricing.)
 class LazyShortestPaths {
  public:
   LazyShortestPaths(const SubstrateNetwork& s,
@@ -64,14 +74,17 @@ class LazyShortestPaths {
   }
 
   /// How many source trees have been computed so far (observability).
-  int computed_sources() const noexcept { return computed_count_; }
+  int computed_sources() const noexcept {
+    return computed_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   const SubstrateNetwork* s_;
   std::vector<double> link_weight_;
   mutable std::vector<ShortestPathTree> trees_;
-  mutable std::vector<char> computed_;
-  mutable int computed_count_ = 0;
+  /// One once-latch per source (unique_ptr: std::once_flag is immovable).
+  mutable std::unique_ptr<std::once_flag[]> once_;
+  mutable std::atomic<int> computed_count_{0};
 };
 
 /// Per-link weight vector `cost(l)` (the plain resource-cost metric).

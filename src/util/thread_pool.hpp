@@ -1,0 +1,98 @@
+// Shared-queue thread pool with dynamically chunked parallel loops.
+//
+// Design goals, in order:
+//  1. *Determinism first.*  The pool never imposes an order on results —
+//     parallel_for hands out indices from an atomic counter and callers
+//     write into pre-sized slots, so any merge that reads the slots in
+//     index order is bit-identical to a serial run regardless of how the
+//     OS schedules the workers.
+//  2. *Safe nesting.*  A parallel_for or submit issued from inside a pool
+//     task runs inline on the calling worker (the classic
+//     worker-waits-for-worker deadlock cannot happen).
+//  3. *Cheap degenerate cases.*  With zero workers — or a parallelism cap
+//     of one — everything executes inline on the calling thread with no
+//     synchronization, so `OLIVE_THREADS=1` really is the serial code path.
+//
+// Thread count policy: olive::default_thread_count() reads OLIVE_THREADS
+// (falling back to std::thread::hardware_concurrency) on every call, so
+// tests and harnesses can re-point it between runs.  ThreadPool::global()
+// is a process-wide pool that lazily grows to the largest parallelism ever
+// requested; the pricing and bench layers share it instead of paying
+// thread spawns per solve.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace olive {
+
+/// Effective thread count: OLIVE_THREADS if set (clamped to >= 1), else
+/// std::thread::hardware_concurrency(), else 1.
+int default_thread_count();
+
+class ThreadPool {
+ public:
+  /// `workers` background threads (>= 0).  Zero workers is valid: every
+  /// parallel_for/submit then runs inline on the calling thread.
+  explicit ThreadPool(int workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const;
+
+  /// Grows the pool to at least `n` workers (never shrinks).
+  void ensure_workers(int n);
+
+  /// Runs body(0), ..., body(n-1), distributing indices dynamically over
+  /// min(workers(), max_threads - 1) workers plus the calling thread, and
+  /// returns when every index has finished.  If any bodies threw, rethrows
+  /// the pending exception with the smallest index (a deterministic pick).
+  /// Called from inside a pool task, runs entirely inline (deadlock guard).
+  void parallel_for(int n, const std::function<void(int)>& body,
+                    int max_threads = 1 << 30);
+
+  /// Schedules `f` and returns its future.  With zero workers, or when
+  /// called from inside a pool task (deadlock guard), `f` runs inline and
+  /// the returned future is already ready.
+  template <class F>
+  std::future<std::invoke_result_t<F>> submit(F&& f) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    if (workers() == 0 || on_worker_thread()) {
+      (*task)();
+    } else {
+      enqueue([task] { (*task)(); });
+    }
+    return fut;
+  }
+
+  /// True iff the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  /// The process-wide pool (starts with zero workers; grows on demand via
+  /// ensure_workers, typically to default_thread_count() - 1).
+  static ThreadPool& global();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+};
+
+}  // namespace olive

@@ -1,11 +1,17 @@
 // LazyShortestPaths must answer exactly like the eager AllPairsShortestPaths
 // on the same weights — on the seed evaluation topologies, not just toys —
-// while computing only the source trees that are actually queried.
+// while computing only the source trees that are actually queried.  Since
+// parallel pricing shares one LazyShortestPaths across worker threads, the
+// memoization must also be safe (and still compute each tree exactly once)
+// under concurrent queries racing on the same source.
 #include <gtest/gtest.h>
+
+#include <atomic>
 
 #include "net/paths.hpp"
 #include "topo/topologies.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace olive::net {
 namespace {
@@ -44,6 +50,39 @@ TEST(LazyShortestPaths, MatchesEagerUnderRandomWeights) {
       for (NodeId b = 0; b < s.num_nodes(); ++b)
         ASSERT_DOUBLE_EQ(eager.dist(a, b), lazy.dist(a, b)) << draw;
   }
+}
+
+TEST(LazyShortestPaths, ConcurrentQueriesMatchEagerAndComputeOnce) {
+  Rng rng(stable_hash("lazy-paths-concurrent"));
+  const auto s = topo::iris(rng);
+  const auto weights = link_cost_weights(s);
+  const AllPairsShortestPaths eager(s, weights);
+  const LazyShortestPaths lazy(s, weights);
+  ThreadPool pool(4);
+  const int n = s.num_nodes();
+  // All (a, b) pairs at once: many tasks race on the same source tree.
+  std::atomic<int> dist_mismatches{0}, path_mismatches{0};
+  pool.parallel_for(n * n, [&](int k) {
+    const NodeId a = k / n, b = k % n;
+    if (eager.dist(a, b) != lazy.dist(a, b)) dist_mismatches.fetch_add(1);
+    if (a != b && eager.tree(a).reachable(b) &&
+        eager.path(a, b) != lazy.path(a, b))
+      path_mismatches.fetch_add(1);
+  });
+  EXPECT_EQ(dist_mismatches.load(), 0);
+  EXPECT_EQ(path_mismatches.load(), 0);
+  // The once-latch must have computed each source exactly once, not once
+  // per racing thread.
+  EXPECT_EQ(lazy.computed_sources(), n);
+}
+
+TEST(LazyShortestPaths, HammeringOneSourceComputesItOnce) {
+  Rng rng(stable_hash("lazy-paths-hammer"));
+  const auto s = topo::citta_studi(rng);
+  const LazyShortestPaths lazy(s, link_cost_weights(s));
+  ThreadPool pool(8);
+  pool.parallel_for(512, [&](int k) { (void)lazy.dist(5, k % s.num_nodes()); });
+  EXPECT_EQ(lazy.computed_sources(), 1);
 }
 
 TEST(LazyShortestPaths, ComputesOnlyQueriedSources) {
