@@ -18,7 +18,10 @@
 #include <algorithm>
 #include <array>
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -180,6 +183,69 @@ inline void stream_row(Table& table, const std::vector<std::string>& cells) {
   for (std::size_t i = 0; i < cells.size(); ++i)
     std::cout << (i ? "," : "") << cells[i];
   std::cout << std::endl;  // flush for live progress
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_perf.json emission (schema olive-perf-v3, see EXPERIMENTS.md).
+// Shared here so the perf harness and any future bench emit identical rows.
+
+/// One measured case of the perf trajectory.
+struct PerfCase {
+  std::string name;
+  std::string topology;
+  std::string basis = "sparse_lu";  ///< "sparse_lu" | "dense"
+  int reps = 0;
+  double seconds_total = 0;
+  long simplex_iterations = 0;
+  long pricing_rounds = 0;
+  long columns_generated = 0;
+  /// Basis-maintenance counters (v3): refactorizations summed over all
+  /// solves, the eta-file high-water mark, and how many solves started
+  /// from a carried warm basis.
+  long refactorizations = 0;
+  long eta_length_max = 0;
+  long warm_start_hits = 0;
+  /// Regression check: last solve's LP objective for plan cases, the sum of
+  /// per-slot LP objectives for SLOTOFF windows.
+  double objective = 0;
+  double rejection_rate = -1;  ///< SLOTOFF cases only; -1 elsewhere
+};
+
+inline std::string json_num(double v) {
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+inline void write_perf_json(const std::string& path, const BenchScale& scale,
+                            int pricing_threads,
+                            const std::vector<PerfCase>& cases) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"schema\": \"olive-perf-v3\",\n"
+      << "  \"scale\": \"" << (scale.full ? "full" : "quick") << "\",\n"
+      << "  \"pricing_threads\": " << pricing_threads << ",\n"
+      << "  \"harness_threads\": 1,\n"
+      << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const PerfCase& c = cases[i];
+    out << "    {\"name\": \"" << c.name << "\", \"topology\": \""
+        << c.topology << "\", \"basis\": \"" << c.basis
+        << "\", \"reps\": " << c.reps
+        << ", \"seconds_total\": " << json_num(c.seconds_total)
+        << ", \"seconds_per_rep\": "
+        << json_num(c.reps > 0 ? c.seconds_total / c.reps : 0.0)
+        << ", \"simplex_iterations\": " << c.simplex_iterations
+        << ", \"pricing_rounds\": " << c.pricing_rounds
+        << ", \"columns_generated\": " << c.columns_generated
+        << ", \"refactorizations\": " << c.refactorizations
+        << ", \"eta_length_max\": " << c.eta_length_max
+        << ", \"warm_start_hits\": " << c.warm_start_hits
+        << ", \"objective\": " << json_num(c.objective)
+        << ", \"rejection_rate\": " << json_num(c.rejection_rate) << "}"
+        << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
 }
 
 }  // namespace olive::bench

@@ -3,9 +3,12 @@
 // Times (a) repeated PLAN-VNE plan solves (cold and column-cache-warmed) and
 // (b) a short SLOTOFF window (the per-slot master re-solve loop) on the two
 // topologies where SLOTOFF is tractable at quick scale (Iris, CittaStudi),
-// and writes BENCH_perf.json so successive PRs can be compared on identical
-// workloads.  See EXPERIMENTS.md "Performance smoke test" for the schema and
-// how to diff runs.
+// plus (c) the fat-tree *scale* cases (FatTree4/FatTree8, 36 and 208
+// substrate nodes) that pit the SparseLU basis against the Dense reference
+// and measure the cross-solve basis warm start, then writes BENCH_perf.json
+// so successive PRs can be compared on identical workloads.  See
+// EXPERIMENTS.md "Performance smoke test" for the schema and how to diff
+// runs.
 //
 // Knobs: OLIVE_PERF_OUT=<path> (default BENCH_perf.json in the CWD),
 // OLIVE_REPRO_FULL=1 for the paper-scale horizon, OLIVE_BENCH_REPS=<n>,
@@ -16,9 +19,6 @@
 // harness_threads is recorded as 1 here.
 #include <algorithm>
 #include <chrono>
-#include <fstream>
-#include <iomanip>
-#include <sstream>
 
 #include "bench/common.hpp"
 
@@ -30,50 +30,25 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-struct PerfCase {
-  std::string name;
-  std::string topology;
-  int reps = 0;
-  double seconds_total = 0;
-  long simplex_iterations = 0;
-  long pricing_rounds = 0;
-  long columns_generated = 0;
-  /// Regression check: last solve's LP objective for plan cases, the sum of
-  /// per-slot LP objectives for the SLOTOFF window.
-  double objective = 0;
-  double rejection_rate = -1;  ///< SLOTOFF cases only; -1 elsewhere
-};
-
-std::string json_num(double v) {
-  std::ostringstream os;
-  os << std::setprecision(12) << v;
-  return os.str();
+void print_case(const olive::bench::PerfCase& c) {
+  std::cout << c.name << "," << c.topology << "," << c.basis << "," << c.reps
+            << "," << olive::bench::json_num(c.seconds_total) << ","
+            << c.simplex_iterations << "," << c.pricing_rounds << ","
+            << c.columns_generated << "," << c.refactorizations << ","
+            << c.eta_length_max << "," << c.warm_start_hits << ","
+            << olive::bench::json_num(c.objective) << std::endl;
 }
 
-void write_json(const std::string& path, const olive::bench::BenchScale& scale,
-                int pricing_threads, const std::vector<PerfCase>& cases) {
-  std::ofstream out(path);
-  out << "{\n"
-      << "  \"schema\": \"olive-perf-v2\",\n"
-      << "  \"scale\": \"" << (scale.full ? "full" : "quick") << "\",\n"
-      << "  \"pricing_threads\": " << pricing_threads << ",\n"
-      << "  \"harness_threads\": 1,\n"
-      << "  \"cases\": [\n";
-  for (std::size_t i = 0; i < cases.size(); ++i) {
-    const PerfCase& c = cases[i];
-    out << "    {\"name\": \"" << c.name << "\", \"topology\": \""
-        << c.topology << "\", \"reps\": " << c.reps
-        << ", \"seconds_total\": " << json_num(c.seconds_total)
-        << ", \"seconds_per_rep\": "
-        << json_num(c.reps > 0 ? c.seconds_total / c.reps : 0.0)
-        << ", \"simplex_iterations\": " << c.simplex_iterations
-        << ", \"pricing_rounds\": " << c.pricing_rounds
-        << ", \"columns_generated\": " << c.columns_generated
-        << ", \"objective\": " << json_num(c.objective)
-        << ", \"rejection_rate\": " << json_num(c.rejection_rate) << "}"
-        << (i + 1 < cases.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
+void accumulate(olive::bench::PerfCase& c, const olive::core::PlanSolveInfo& info,
+                double seconds) {
+  c.seconds_total += seconds;
+  c.simplex_iterations += info.simplex_iterations;
+  c.pricing_rounds += info.rounds;
+  c.columns_generated += info.columns_generated;
+  c.refactorizations += info.refactorizations;
+  c.eta_length_max = std::max(c.eta_length_max, info.eta_length_max);
+  c.warm_start_hits += info.warm_start_hit ? 1 : 0;
+  c.objective = info.objective;
 }
 
 }  // namespace
@@ -94,16 +69,17 @@ int main() {
   const int pricing_threads = olive::default_thread_count();
   std::cout << "# pricing_threads=" << pricing_threads
             << " harness_threads=1\n";
-  std::vector<PerfCase> cases;
-  std::cout << "case,topology,reps,seconds_total,simplex_iterations,"
-               "pricing_rounds,columns_generated,objective\n";
+  std::vector<bench::PerfCase> cases;
+  std::cout << "case,topology,basis,reps,seconds_total,simplex_iterations,"
+               "pricing_rounds,columns_generated,refactorizations,"
+               "eta_length_max,warm_start_hits,objective\n";
 
   for (const std::string topo : {"Iris", "CittaStudi"}) {
     const auto cfg = bench::base_config(scale, topo, 1.0);
     const core::Scenario sc = core::build_scenario(cfg, 0);
 
     // (a) cold plan solves: every rep prices its columns from scratch.
-    PerfCase cold;
+    bench::PerfCase cold;
     cold.name = "plan_solve_cold";
     cold.topology = topo;
     cold.reps = plan_reps;
@@ -112,36 +88,30 @@ int main() {
       const auto start = Clock::now();
       const core::Plan plan = core::solve_plan_vne(
           sc.substrate, sc.apps, sc.aggregates, cfg.plan, &info);
-      cold.seconds_total += seconds_since(start);
-      cold.simplex_iterations += info.simplex_iterations;
-      cold.pricing_rounds += info.rounds;
-      cold.columns_generated += info.columns_generated;
-      cold.objective = info.objective;
+      accumulate(cold, info, seconds_since(start));
     }
     cases.push_back(cold);
 
     // (b) warm plan solves: the column cache carries embeddings across
-    // solves, the SLOTOFF/replan regime.
-    PerfCase warm = cold;
+    // solves, the SLOTOFF/replan regime (no basis warm start, so this row
+    // stays comparable with the pre-v3 trajectory).
+    bench::PerfCase warm;
     warm.name = "plan_solve_warm";
-    warm.seconds_total = 0;
-    warm.simplex_iterations = warm.pricing_rounds = warm.columns_generated = 0;
+    warm.topology = topo;
+    warm.reps = plan_reps;
     core::PlanColumnCache cache;
     for (int rep = 0; rep < plan_reps; ++rep) {
       core::PlanSolveInfo info;
       const auto start = Clock::now();
       const core::Plan plan = core::solve_plan_vne(
           sc.substrate, sc.apps, sc.aggregates, cfg.plan, &info, &cache);
-      warm.seconds_total += seconds_since(start);
-      warm.simplex_iterations += info.simplex_iterations;
-      warm.pricing_rounds += info.rounds;
-      warm.columns_generated += info.columns_generated;
-      warm.objective = info.objective;
+      accumulate(warm, info, seconds_since(start));
     }
     cases.push_back(warm);
 
     // (c) a SLOTOFF window: per-slot master re-solves on the online trace
-    // truncated to the first `slotoff_slots` arrival slots.
+    // truncated to the first `slotoff_slots` arrival slots, with the basis
+    // carried slot to slot (production default).
     workload::Trace window;
     const int base = sc.online.empty() ? 0 : sc.online.front().arrival;
     for (const auto& r : sc.online)
@@ -155,7 +125,7 @@ int main() {
     // Same pricing-round cap run_algorithm("SlotOff") applies, so these rows
     // time the production SLOTOFF regime.
     so.plan.max_rounds = std::min(so.plan.max_rounds, 8);
-    PerfCase slot;
+    bench::PerfCase slot;
     slot.name = "slotoff_window";
     slot.topology = topo;
     const auto start = Clock::now();
@@ -165,18 +135,95 @@ int main() {
     slot.simplex_iterations = m.plan_simplex_iterations;
     slot.pricing_rounds = m.plan_rounds;
     slot.columns_generated = m.plan_columns_generated;
+    slot.refactorizations = m.plan_refactorizations;
+    slot.eta_length_max = m.plan_eta_length_max;
+    slot.warm_start_hits = m.plan_warm_start_hits;
     slot.objective = m.plan_objective_sum;
     slot.rejection_rate = m.rejection_rate();
     cases.push_back(slot);
 
-    for (auto it = cases.end() - 3; it != cases.end(); ++it)
-      std::cout << it->name << "," << it->topology << "," << it->reps << ","
-                << json_num(it->seconds_total) << "," << it->simplex_iterations
-                << "," << it->pricing_rounds << "," << it->columns_generated
-                << "," << json_num(it->objective) << std::endl;
+    for (auto it = cases.end() - 3; it != cases.end(); ++it) print_case(*it);
   }
 
-  write_json(out_path, scale, pricing_threads, cases);
+  // --- fat-tree scale cases -------------------------------------------------
+  // k=8 is several times the paper's largest topology (208 nodes, 384
+  // links); here the sparse basis must show a superlinear win over the
+  // dense inverse while the optima stay bit-identical (the differential
+  // suite enforces the latter; this harness records both trajectories).
+  for (const int k : {4, 8}) {
+    const std::string topo = "FatTree" + std::to_string(k);
+    auto cfg = bench::base_config(scale, topo, 1.0);
+    const core::Scenario sc = core::build_scenario(cfg, 0);
+    const int scale_reps = std::max(1, std::min(plan_reps, k == 8 ? 2 : 3));
+
+    double dense_seconds = 0, sparse_seconds = 0;
+    for (const auto basis : {lp::BasisKind::SparseLU, lp::BasisKind::Dense}) {
+      const bool sparse = basis == lp::BasisKind::SparseLU;
+      bench::PerfCase c;
+      c.name = sparse ? "scale_plan_cold_sparse" : "scale_plan_cold_dense";
+      c.topology = topo;
+      c.basis = sparse ? "sparse_lu" : "dense";
+      c.reps = scale_reps;
+      core::PlanVneConfig pcfg = cfg.plan;
+      pcfg.lp.basis = basis;
+      for (int rep = 0; rep < scale_reps; ++rep) {
+        core::PlanSolveInfo info;
+        const auto start = Clock::now();
+        const core::Plan plan = core::solve_plan_vne(
+            sc.substrate, sc.apps, sc.aggregates, pcfg, &info);
+        accumulate(c, info, seconds_since(start));
+      }
+      (sparse ? sparse_seconds : dense_seconds) = c.seconds_total;
+      cases.push_back(c);
+      print_case(c);
+    }
+    std::cout << "# " << topo << " sparse-vs-dense cold speedup: "
+              << bench::json_num(dense_seconds /
+                                 std::max(1e-12, sparse_seconds))
+              << "x\n";
+
+    // Consecutive-slot regime: the same classes re-solved under drifting
+    // demands (deterministic ±8% churn per rep), sharing a column cache.
+    // The warm row additionally carries the basis; cold re-starts from the
+    // all-slack basis every time.  Objectives are identical pairwise per
+    // rep; only iteration counts and wall-clock move.
+    const int churn_reps = 5;
+    std::vector<std::vector<core::AggregateRequest>> churned;
+    Rng churn_rng(stable_hash("perf-scale-churn"));
+    for (int rep = 0; rep < churn_reps; ++rep) {
+      Rng r = churn_rng.fork(static_cast<std::uint64_t>(rep) + 1);
+      auto aggs = sc.aggregates;
+      for (auto& a : aggs) a.demand *= r.uniform(0.92, 1.08);
+      churned.push_back(std::move(aggs));
+    }
+    long cold_iters = 0, warm_iters = 0;
+    for (const bool with_warm : {false, true}) {
+      bench::PerfCase c;
+      c.name = with_warm ? "scale_resolve_warm" : "scale_resolve_cold";
+      c.topology = topo;
+      c.reps = churn_reps;
+      core::PlanColumnCache churn_cache;
+      core::PlanWarmStart warm_state;
+      for (int rep = 0; rep < churn_reps; ++rep) {
+        core::PlanSolveInfo info;
+        const auto start = Clock::now();
+        const core::Plan plan = core::solve_plan_vne(
+            sc.substrate, sc.apps, churned[rep], cfg.plan, &info, &churn_cache,
+            with_warm ? &warm_state : nullptr);
+        accumulate(c, info, seconds_since(start));
+      }
+      (with_warm ? warm_iters : cold_iters) = c.simplex_iterations;
+      cases.push_back(c);
+      print_case(c);
+    }
+    std::cout << "# " << topo << " warm-start iteration reduction: "
+              << bench::json_num(
+                     100.0 * (1.0 - static_cast<double>(warm_iters) /
+                                        std::max(1L, cold_iters)))
+              << "%\n";
+  }
+
+  bench::write_perf_json(out_path, scale, pricing_threads, cases);
   std::cout << "# wrote " << out_path << "\n";
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "lp/model.hpp"
 #include "net/paths.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace olive::core {
@@ -54,6 +55,27 @@ struct PricedClass {
   std::uint64_t fingerprint = 0;
 };
 
+/// One splitmix64 step over a value (the util helper advances a stream
+/// state; here each input is its own one-shot state).
+std::uint64_t smix64(std::uint64_t x) noexcept { return splitmix64(x); }
+
+/// 64-bit key for the warm-start/tie-break maps.  Keys must be stable
+/// across solves and distinct across key spaces; the tag argument separates
+/// capacity rows, convexity rows, quantile columns, and embedding columns.
+/// Chaining the bijective splitmix64 finalizer between the inputs leaves
+/// only genuine 64-bit birthday collisions (a weaker additive combiner
+/// produced real clashes between (class, p) and (class+1, p-4) quantile
+/// keys on the 512-class fat-tree masters).
+std::uint64_t mix64(std::uint64_t tag, std::uint64_t a,
+                    std::uint64_t b = 0) noexcept {
+  return smix64(smix64(smix64(tag) ^ a) ^ b);
+}
+
+constexpr std::uint64_t kCapacityRowTag = 1;
+constexpr std::uint64_t kConvexityRowTag = 2;
+constexpr std::uint64_t kQuantileColTag = 3;
+constexpr std::uint64_t kEmbeddingColTag = 4;
+
 }  // namespace
 
 double default_psi(const net::SubstrateNetwork& s,
@@ -71,7 +93,7 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
                     const std::vector<net::Application>& apps,
                     const std::vector<AggregateRequest>& aggregates,
                     const PlanVneConfig& config, PlanSolveInfo* info,
-                    PlanColumnCache* cache) {
+                    PlanColumnCache* cache, PlanWarmStart* warm) {
   OLIVE_REQUIRE(config.quantiles >= 1, "need at least one quantile");
   for (int e = 0; e < s.element_count(); ++e)
     OLIVE_REQUIRE(s.element_capacity(e) > 0,
@@ -207,10 +229,24 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
   // re-solves this master every time slot.  The substitution adds the
   // constant Σ_c ψ_c·d_c·(P+1)/2 to the objective, restored after solving.
   lp::Model master;
-  for (int e = 0; e < n_elems; ++e) master.add_row(lp::Sense::LE, 1.0);
+  // Warm-start/tie-break keys, aligned with the master's rows and columns.
+  // They are pure functions of substrate element, class identity, and
+  // embedding fingerprint, so consecutive solves (different masters!) can
+  // exchange bases through them.
+  std::vector<std::uint64_t> row_keys, col_keys;
+  row_keys.reserve(static_cast<std::size_t>(n_elems) + n_classes);
+  for (int e = 0; e < n_elems; ++e) {
+    master.add_row(lp::Sense::LE, 1.0);
+    row_keys.push_back(mix64(kCapacityRowTag, static_cast<std::uint64_t>(e)));
+  }
   std::vector<int> convexity_row(n_classes);
-  for (int c = 0; c < n_classes; ++c)
+  std::vector<std::uint64_t> class_id(n_classes);
+  for (int c = 0; c < n_classes; ++c) {
     convexity_row[c] = master.add_row(lp::Sense::EQ, 0.0);
+    class_id[c] = static_cast<std::uint64_t>(
+        class_key(aggregates[c].app, aggregates[c].ingress));
+    row_keys.push_back(mix64(kConvexityRowTag, class_id[c]));
+  }
 
   double objective_constant = 0;  // scaled units
   std::vector<std::vector<int>> quantile_col(n_classes, std::vector<int>(P));
@@ -222,6 +258,10 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
       const int col = master.add_col(0.0, 1.0 / P, cost);
       master.add_entry(convexity_row[c], col, -1.0);
       quantile_col[c][p - 1] = col;
+      const std::uint64_t key =
+          mix64(kQuantileColTag, class_id[c], static_cast<std::uint64_t>(p));
+      master.set_col_fingerprint(col, key);
+      col_keys.push_back(key);
     }
   }
 
@@ -240,15 +280,28 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
       cd.model_col = master.add_col_with_entries(
           0.0, 1.0, obj_scale * aggregates[c].demand * cd.unit_cost,
           column_entries(c, cd.usage));
+      const std::uint64_t key =
+          mix64(kEmbeddingColTag, class_id[c], cd.fingerprint);
+      master.set_col_fingerprint(cd.model_col, key);
+      col_keys.push_back(key);
     }
   }
 
-  lp::Simplex solver(master, config.lp);
-  lp::SolveResult res = solver.solve();
-  OLIVE_ASSERT(res.status == lp::Status::Optimal);  // all-reject is feasible
-
   PlanSolveInfo local_info;
   local_info.pricing_threads = threads;
+
+  lp::Simplex solver(master, config.lp);
+  // Basis continuity: start from the previous solve's optimal basis when
+  // one was carried in and still fits (surviving rows/columns matched by
+  // key; misses fall back to the all-slack cold start).
+  bool warm_hit = false;
+  if (warm != nullptr && !warm->empty()) {
+    local_info.warm_start_attempted = true;
+    warm_hit = solver.try_warm_start(warm->basis, row_keys, col_keys);
+  }
+  local_info.warm_start_hit = warm_hit;
+  lp::SolveResult res = warm_hit ? solver.resolve() : solver.solve();
+  OLIVE_ASSERT(res.status == lp::Status::Optimal);  // all-reject is feasible
   local_info.simplex_iterations += res.iterations;
   // Classes with no feasible placement never price (their candidate pools
   // are empty for good), so the per-round grouping is fixed up front.
@@ -294,9 +347,12 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
       cd.unit_cost = priced[c].unit_cost;
       cd.embedding = std::move(priced[c].embedding);
       cd.fingerprint = priced[c].fingerprint;
+      const std::uint64_t key =
+          mix64(kEmbeddingColTag, class_id[c], cd.fingerprint);
       cd.model_col = solver.add_column(
           0.0, 1.0, obj_scale * agg.demand * cd.unit_cost,
-          column_entries(c, cd.usage));
+          column_entries(c, cd.usage), key);
+      col_keys.push_back(key);
       cand[c].push_back(std::move(cd));
       ++added;
     }
@@ -307,18 +363,34 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
     OLIVE_ASSERT(res.status == lp::Status::Optimal);
   }
 
-  // Feed new columns back into the cache for future solves.  The bucket
-  // keeps its own fingerprint set, so membership is O(1) instead of
-  // re-fingerprinting the whole bucket every solve.
+  // Feed the columns back into the cache for future solves.  The bucket is
+  // rebuilt most-recently-useful-first: the columns this optimum actually
+  // uses (f > 0 — the basic columns) lead, then the bucket's previous
+  // content, then this solve's unused columns, trimmed to the cap.  Keeping
+  // the used columns is what lets the next solve's master contain the
+  // carried warm-start basis; everything else is best-effort seeding.
   if (cache) {
     for (int c = 0; c < n_classes; ++c) {
       auto& bucket = cache->bucket(aggregates[c].app, aggregates[c].ingress);
-      for (const auto& cd : cand[c]) {
-        if (bucket.columns.size() >= PlanColumnCache::kMaxPerBucket) break;
-        if (!bucket.fingerprints.insert(cd.fingerprint).second) continue;
-        bucket.columns.push_back(
-            {cd.embedding, cd.usage, cd.unit_cost, cd.fingerprint});
+      std::vector<PlanColumnCache::CachedColumn> rebuilt;
+      std::unordered_set<std::uint64_t> kept;
+      const auto keep = [&](PlanColumnCache::CachedColumn cc) {
+        if (!kept.insert(cc.fingerprint).second) return;
+        rebuilt.push_back(std::move(cc));
+      };
+      for (const auto& cd : cand[c])
+        if (res.x[cd.model_col] > 1e-9)
+          keep({cd.embedding, cd.usage, cd.unit_cost, cd.fingerprint});
+      for (auto& cc : bucket.columns) {
+        if (rebuilt.size() >= PlanColumnCache::kMaxPerBucket) break;
+        keep(std::move(cc));
       }
+      for (const auto& cd : cand[c]) {
+        if (rebuilt.size() >= PlanColumnCache::kMaxPerBucket) break;
+        keep({cd.embedding, cd.usage, cd.unit_cost, cd.fingerprint});
+      }
+      bucket.columns = std::move(rebuilt);
+      bucket.fingerprints = std::move(kept);
     }
   }
 
@@ -346,6 +418,13 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
     classes.push_back(std::move(pc));
   }
 
+  // Hand the final optimal basis to the next solve in the sequence.
+  if (warm != nullptr && res.status == lp::Status::Optimal)
+    warm->basis = solver.save_warm_start(row_keys, col_keys);
+
+  const lp::FactorStats factor_stats = solver.factor_stats();
+  local_info.refactorizations = factor_stats.refactorizations;
+  local_info.eta_length_max = factor_stats.eta_length_max;
   local_info.rounds = round;
   local_info.status = res.status;
   local_info.objective = (res.objective + objective_constant) / obj_scale;

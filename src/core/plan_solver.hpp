@@ -62,6 +62,27 @@ struct PlanSolveInfo {
   /// Resolved pricing thread count this solve ran with (>= 1).  Purely
   /// informational: every other field is identical at any thread count.
   int pricing_threads = 1;
+  /// Basis warm start: whether a PlanWarmStart was offered, and whether the
+  /// master actually started from it (a miss means the carried basis was
+  /// stale — singular or primal infeasible under the new demands — and the
+  /// solve fell back to the all-slack cold start).
+  bool warm_start_attempted = false;
+  bool warm_start_hit = false;
+  /// Basis-maintenance counters summed over the master's lifetime (see
+  /// lp::FactorStats; eta stats are zero in Dense basis mode).
+  long refactorizations = 0;
+  long eta_length_max = 0;
+};
+
+/// Basis continuity across consecutive master solves (SLOTOFF slots,
+/// replans).  Rows and columns are keyed by substrate element, request
+/// class, and embedding fingerprint, so the snapshot survives classes
+/// appearing/departing and columns being regenerated: surviving rows start
+/// from the previous optimal basis, new rows start from their slack, and
+/// departed columns simply drop out.
+struct PlanWarmStart {
+  lp::WarmStart basis;
+  bool empty() const noexcept { return basis.empty(); }
 };
 
 /// Cross-solve column cache.  Embeddings generated for a class (app,
@@ -109,11 +130,15 @@ double default_psi(const net::SubstrateNetwork& s,
 /// Solves PLAN-VNE for the aggregated demand.  Classes whose application has
 /// no feasible placement anywhere get rejection-only plans.  `cache`, if
 /// given, seeds the column pool and receives newly generated columns.
+/// `warm`, if given, is read to seed the master's starting basis and
+/// overwritten with the final optimal basis, so consecutive solves on
+/// overlapping demand (SLOTOFF, replans) skip most simplex iterations.
 Plan solve_plan_vne(const net::SubstrateNetwork& s,
                     const std::vector<net::Application>& apps,
                     const std::vector<AggregateRequest>& aggregates,
                     const PlanVneConfig& config = {},
                     PlanSolveInfo* info = nullptr,
-                    PlanColumnCache* cache = nullptr);
+                    PlanColumnCache* cache = nullptr,
+                    PlanWarmStart* warm = nullptr);
 
 }  // namespace olive::core

@@ -1,6 +1,7 @@
 #include "core/scenario.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "core/fullg.hpp"
 #include "core/olive.hpp"
@@ -15,6 +16,12 @@ net::SubstrateNetwork build_topology(const std::string& name, Rng& rng) {
   if (name == "CittaStudi") return topo::citta_studi(rng);
   if (name == "5GEN") return topo::fivegen(rng);
   if (name == "100N150E") return topo::erdos_renyi(rng);
+  // Synthetic scale family: "FatTree<k>" (k even), e.g. FatTree4, FatTree8.
+  if (name.rfind("FatTree", 0) == 0) {
+    const int k = std::atoi(name.c_str() + 7);
+    OLIVE_REQUIRE(k >= 2, "FatTree topology needs an arity, e.g. FatTree8");
+    return topo::fat_tree(rng, k);
+  }
   throw InvalidArgument("unknown topology: " + name);
 }
 

@@ -23,6 +23,7 @@ namespace olive::core {
 
 struct ScenarioConfig {
   std::string topology = "Iris";  ///< Iris | CittaStudi | 5GEN | 100N150E
+                                  ///< | FatTree<k> (scale family, k even)
   double utilization = 1.0;       ///< edge utilization (1.0 == 100%)
   std::uint64_t seed = 1;
 

@@ -254,6 +254,11 @@ SimMetrics run_slotoff(const net::SubstrateNetwork& s,
   long n_active = 0;
 
   PlanColumnCache cache;
+  // Basis continuity: each slot's master starts from the previous slot's
+  // optimal basis (surviving classes/columns matched by key inside
+  // solve_plan_vne; arrivals and departures fall back per row).
+  PlanWarmStart warm;
+  PlanWarmStart* warm_ptr = config.warm_start ? &warm : nullptr;
   std::size_t next = 0;
 
   for (int t = 0; t < n_slots; ++t) {
@@ -298,13 +303,17 @@ SimMetrics run_slotoff(const net::SubstrateNetwork& s,
       members_of.push_back(&sc->members);
     }
     PlanSolveInfo solve_info;
-    const Plan plan =
-        solve_plan_vne(s, apps, aggs, config.plan, &solve_info, &cache);
+    const Plan plan = solve_plan_vne(s, apps, aggs, config.plan, &solve_info,
+                                     &cache, warm_ptr);
     metrics.plan_solves += 1;
     metrics.plan_simplex_iterations += solve_info.simplex_iterations;
     metrics.plan_rounds += solve_info.rounds;
     metrics.plan_columns_generated += solve_info.columns_generated;
     metrics.plan_objective_sum += solve_info.objective;
+    metrics.plan_warm_start_hits += solve_info.warm_start_hit ? 1 : 0;
+    metrics.plan_refactorizations += solve_info.refactorizations;
+    metrics.plan_eta_length_max =
+        std::max(metrics.plan_eta_length_max, solve_info.eta_length_max);
 
     // Round the splittable plan onto individual requests: largest first,
     // first fitting column (capacity f_k·D_c and substrate feasibility).

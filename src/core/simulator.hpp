@@ -99,6 +99,12 @@ struct SimMetrics {
   long plan_rounds = 0;
   long plan_columns_generated = 0;
   double plan_objective_sum = 0;  ///< Σ per-slot LP objectives
+  /// Basis continuity across the per-slot masters: solves that started
+  /// from the previous slot's optimal basis, and the factorization
+  /// counters summed/maxed over all solves (see lp::FactorStats).
+  long plan_warm_start_hits = 0;
+  long plan_refactorizations = 0;
+  long plan_eta_length_max = 0;
 
   std::vector<RequestRecord> records;  // only if record_requests
 };
@@ -113,6 +119,11 @@ SimMetrics run_online(const net::SubstrateNetwork& s,
 struct SlotOffConfig {
   SimulatorConfig sim;
   PlanVneConfig plan;  ///< per-slot OFF-VNE solver settings
+  /// Carry each slot's optimal master basis into the next slot's solve
+  /// (PlanWarmStart).  Off forces every slot to a cold all-slack start;
+  /// the solved plans are identical either way (same LP optimum), only the
+  /// simplex iteration counts move.
+  bool warm_start = true;
 };
 
 /// Runs the SLOTOFF baseline.

@@ -13,6 +13,7 @@ int Model::add_col(double lo, double up, double cost) {
   col_up_.push_back(up);
   cost_.push_back(cost);
   cols_.emplace_back();
+  fingerprint_.push_back(static_cast<std::uint64_t>(num_cols() - 1));
   return num_cols() - 1;
 }
 
@@ -50,6 +51,14 @@ void Model::set_col_bounds(int col, double lo, double up) {
 }
 
 void Model::set_col_cost(int col, double cost) { cost_.at(col) = cost; }
+
+void Model::set_col_fingerprint(int col, std::uint64_t fingerprint) {
+  fingerprint_.at(col) = fingerprint;
+}
+
+std::uint64_t Model::col_fingerprint(int col) const {
+  return fingerprint_.at(col);
+}
 
 double Model::objective_value(const std::vector<double>& x) const {
   OLIVE_REQUIRE(static_cast<int>(x.size()) == num_cols(),

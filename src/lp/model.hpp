@@ -6,6 +6,7 @@
 // embedding ILP — the roles CPLEX plays in the paper.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <utility>
@@ -39,6 +40,13 @@ class Model {
   void set_col_bounds(int col, double lo, double up);
   void set_col_cost(int col, double cost);
 
+  /// Pricing tie-break key of a column (see lp::Simplex): the solver breaks
+  /// equal reduced costs by ascending fingerprint, then index, so equal-cost
+  /// column choices are deterministic across pricing modes.  Defaults to the
+  /// column index; PLAN-VNE sets embedding fingerprints here.
+  void set_col_fingerprint(int col, std::uint64_t fingerprint);
+  std::uint64_t col_fingerprint(int col) const;
+
   int num_cols() const noexcept { return static_cast<int>(col_lo_.size()); }
   int num_rows() const noexcept { return static_cast<int>(rhs_.size()); }
 
@@ -57,6 +65,7 @@ class Model {
 
  private:
   std::vector<double> col_lo_, col_up_, cost_;
+  std::vector<std::uint64_t> fingerprint_;
   std::vector<SparseColumn> cols_;
   std::vector<Sense> sense_;
   std::vector<double> rhs_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 
 #include "util/error.hpp"
 
@@ -24,7 +25,7 @@ const char* to_string(Status s) noexcept {
 }
 
 Simplex::Simplex(const Model& model, SimplexOptions options)
-    : options_(options) {
+    : options_(options), factor_(options.factor) {
   build_standard_form(model);
 }
 
@@ -34,6 +35,7 @@ void Simplex::build_standard_form(const Model& model) {
   cols_.clear();
   cols_.reserve(static_cast<std::size_t>(n_structural_ + n_rows_));
   model_index_.clear();
+  fingerprint_.clear();
   artificial_.clear();
 
   for (int c = 0; c < n_structural_; ++c) {
@@ -49,6 +51,7 @@ void Simplex::build_standard_form(const Model& model) {
     }
     cols_.push_back(std::move(col));
     model_index_.push_back(c);
+    fingerprint_.push_back(model.col_fingerprint(c));
     artificial_.push_back(0);
   }
 
@@ -68,6 +71,7 @@ void Simplex::build_standard_form(const Model& model) {
     slack_col_[r] = static_cast<int>(cols_.size());
     cols_.push_back(std::move(slack));
     model_index_.push_back(-1);
+    fingerprint_.push_back(static_cast<std::uint64_t>(slack_col_[r]));
     artificial_.push_back(0);
   }
   has_basis_ = false;
@@ -84,14 +88,16 @@ double Simplex::value_of(int col) const {
   return 0;
 }
 
-void Simplex::install_slack_basis() {
-  // Drop artificial columns from any previous solve.
+void Simplex::drop_artificials() {
   while (!cols_.empty() && artificial_.back()) {
     cols_.pop_back();
     model_index_.pop_back();
+    fingerprint_.pop_back();
     artificial_.pop_back();
   }
+}
 
+void Simplex::reset_nonbasic_statuses() {
   const int n = static_cast<int>(cols_.size());
   status_.assign(n, VarStatus::AtLower);
   for (int c = 0; c < n; ++c) {
@@ -104,7 +110,42 @@ void Simplex::install_slack_basis() {
       status_[c] = VarStatus::AtUpper;
     }
   }
+}
 
+void Simplex::install_slack_basis() {
+  // Drop artificial columns from any previous solve.
+  drop_artificials();
+  reset_nonbasic_statuses();
+  crash_basis_from_residuals();
+}
+
+/// Demotes every basic structural column to its nearest bound and rebuilds
+/// the basis from slacks/artificials.  With the nonbasic statuses kept from
+/// a warm start this is the "status crash": always feasible by
+/// construction, near-optimal when the statuses came from a neighboring
+/// optimum.
+void Simplex::crash_basis_from_statuses() {
+  drop_artificials();
+  status_.resize(cols_.size());  // shed statuses of the dropped artificials
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    if (status_[c] != VarStatus::Basic) continue;
+    const Column& col = cols_[c];
+    const double v = basis_pos_[c] >= 0 ? xb_[basis_pos_[c]] : col.lo;
+    if (col.lo == col.up) {
+      status_[c] = VarStatus::Fixed;
+    } else if (col.lo <= -kInf) {
+      status_[c] = VarStatus::AtUpper;
+    } else if (col.up >= kInf) {
+      status_[c] = VarStatus::AtLower;
+    } else {
+      status_[c] = (v - col.lo <= col.up - v) ? VarStatus::AtLower
+                                              : VarStatus::AtUpper;
+    }
+  }
+  crash_basis_from_residuals();
+}
+
+void Simplex::crash_basis_from_residuals() {
   // Residual each row's slack would have to absorb.
   std::vector<double> residual = rhs_;
   for (std::size_t c = 0; c < cols_.size(); ++c) {
@@ -134,36 +175,33 @@ void Simplex::install_slack_basis() {
                        : (clamped == s.lo ? VarStatus::AtLower
                                           : VarStatus::AtUpper);
       const double gap = residual[r] - clamped;
-      Column art;
-      art.rows = {r};
-      art.vals = {gap > 0 ? 1.0 : -1.0};
-      art.lo = 0.0;
-      art.up = kInf;
-      art.cost = 0.0;
-      cols_.push_back(std::move(art));
-      model_index_.push_back(-1);
-      artificial_.push_back(1);
-      status_.push_back(VarStatus::Basic);
-      basis_[r] = static_cast<int>(cols_.size()) - 1;
+      basis_[r] = append_artificial(r, gap > 0 ? 1.0 : -1.0);
       xb_[r] = std::abs(gap);
     }
   }
 
   basis_pos_.assign(cols_.size(), -1);
   for (int r = 0; r < n_rows_; ++r) basis_pos_[basis_[r]] = r;
+  needs_phase1_ = false;
 
-  binv_.assign(static_cast<std::size_t>(n_rows_) * n_rows_, 0.0);
-  // Basis columns are slacks (+1) or artificials (+-1); the inverse diagonal
-  // entry is the column's own coefficient sign.
-  for (int r = 0; r < n_rows_; ++r)
-    binv_[static_cast<std::size_t>(r) * n_rows_ + r] =
-        artificial_[basis_[r]] ? 1.0 / cols_[basis_[r]].vals[0] : 1.0;
+  if (sparse()) {
+    sparse_refactorize();
+  } else {
+    binv_.assign(static_cast<std::size_t>(n_rows_) * n_rows_, 0.0);
+    // Basis columns are slacks (+1) or artificials (+-1); the inverse
+    // diagonal entry is the column's own coefficient sign.
+    for (int r = 0; r < n_rows_; ++r)
+      binv_[static_cast<std::size_t>(r) * n_rows_ + r] =
+          artificial_[basis_[r]] ? 1.0 / cols_[basis_[r]].vals[0] : 1.0;
+  }
 
   has_basis_ = true;
+  needs_phase1_ = false;
 }
 
 void Simplex::compute_basic_values() {
-  std::vector<double> v = rhs_;
+  std::vector<double>& v = scratch_values_;
+  v = rhs_;
   const int n = static_cast<int>(cols_.size());
   for (int c = 0; c < n; ++c) {
     if (status_[c] == VarStatus::Basic) continue;
@@ -172,6 +210,11 @@ void Simplex::compute_basic_values() {
     const Column& col = cols_[c];
     for (std::size_t k = 0; k < col.rows.size(); ++k)
       v[col.rows[k]] -= col.vals[k] * val;
+  }
+  if (sparse()) {
+    factor_.ftran(v);
+    xb_ = v;
+    return;
   }
   // xb = B^-1 v = sum_r v[r] * column r of B^-1 (contiguous in the
   // column-major layout).
@@ -185,9 +228,9 @@ void Simplex::compute_basic_values() {
 }
 
 void Simplex::compute_duals(const std::vector<double>& costs,
-                            std::vector<double>& y) const {
-  // y_j = sum_k c_B[k] * B^-1(k, j); column j of the layout is contiguous.
-  std::vector<double> cb(n_rows_);
+                            std::vector<double>& y) {
+  std::vector<double>& cb = scratch_cb_;
+  cb.resize(n_rows_);
   bool any = false;
   for (int k = 0; k < n_rows_; ++k) {
     cb[k] = costs[basis_[k]];
@@ -195,6 +238,12 @@ void Simplex::compute_duals(const std::vector<double>& costs,
   }
   y.assign(n_rows_, 0.0);
   if (!any) return;
+  if (sparse()) {
+    y = cb;
+    factor_.btran(y);
+    return;
+  }
+  // y_j = sum_k c_B[k] * B^-1(k, j); column j of the layout is contiguous.
   for (int j = 0; j < n_rows_; ++j) {
     const double* colj = &binv_[static_cast<std::size_t>(j) * n_rows_];
     double acc = 0;
@@ -203,14 +252,32 @@ void Simplex::compute_duals(const std::vector<double>& costs,
   }
 }
 
-void Simplex::ftran(const Column& col, std::vector<double>& out) const {
+void Simplex::ftran(const Column& col, std::vector<double>& out) {
   out.assign(n_rows_, 0.0);
+  if (sparse()) {
+    for (std::size_t k = 0; k < col.rows.size(); ++k)
+      out[col.rows[k]] += col.vals[k];
+    factor_.ftran(out);
+    return;
+  }
   for (std::size_t k = 0; k < col.rows.size(); ++k) {
     const double v = col.vals[k];
     const double* colr =
         &binv_[static_cast<std::size_t>(col.rows[k]) * n_rows_];
     for (int i = 0; i < n_rows_; ++i) out[i] += colr[i] * v;
   }
+}
+
+void Simplex::basis_row(int r, std::vector<double>& rho) {
+  if (sparse()) {
+    rho.assign(n_rows_, 0.0);
+    rho[r] = 1.0;
+    factor_.btran(rho);
+    return;
+  }
+  rho.resize(n_rows_);
+  for (int j = 0; j < n_rows_; ++j)
+    rho[j] = binv_[static_cast<std::size_t>(j) * n_rows_ + r];
 }
 
 double Simplex::reduced_cost(int c, const std::vector<double>& y,
@@ -237,6 +304,15 @@ bool Simplex::price_eligible(VarStatus st, double d, double* score,
   return false;
 }
 
+bool Simplex::better_candidate(double score, int c, double best_score,
+                               int best) const {
+  if (score != best_score) return score > best_score;
+  if (best < 0) return true;
+  const std::uint64_t fc = fingerprint_[c], fb = fingerprint_[best];
+  if (fc != fb) return fc < fb;
+  return c < best;
+}
+
 int Simplex::price_full_scan(const std::vector<double>& y,
                              const std::vector<double>& costs, bool bland,
                              int* direction, double* entering_rc) {
@@ -259,7 +335,7 @@ int Simplex::price_full_scan(const std::vector<double>& y,
       return c;
     }
     if (keep_candidates) scratch_eligible_.emplace_back(score, c);
-    if (score > best_score) {
+    if (better_candidate(score, c, best_score, best)) {
       best_score = score;
       best = c;
       best_dir = dir;
@@ -267,16 +343,24 @@ int Simplex::price_full_scan(const std::vector<double>& y,
     }
   }
   if (keep_candidates) {
-    // Seed the candidate list with the most attractive columns.
+    // Seed the candidate list with the most attractive columns.  The
+    // comparator is a total order (score, then fingerprint, then index), so
+    // membership at the cap boundary is deterministic and identical in
+    // every pricing mode.
+    const auto prefer = [this](const std::pair<double, int>& a,
+                               const std::pair<double, int>& b) {
+      if (a.first != b.first) return a.first > b.first;
+      const std::uint64_t fa = fingerprint_[a.second];
+      const std::uint64_t fb = fingerprint_[b.second];
+      if (fa != fb) return fa < fb;
+      return a.second < b.second;
+    };
     const std::size_t cap =
         static_cast<std::size_t>(std::max(1, options_.candidate_list_size));
     if (scratch_eligible_.size() > cap) {
       std::nth_element(scratch_eligible_.begin(),
                        scratch_eligible_.begin() + cap - 1,
-                       scratch_eligible_.end(),
-                       [](const auto& a, const auto& b) {
-                         return a.first > b.first;
-                       });
+                       scratch_eligible_.end(), prefer);
       scratch_eligible_.resize(cap);
     }
     candidates_.clear();
@@ -308,7 +392,7 @@ int Simplex::price(const std::vector<double>& y, const std::vector<double>& cost
     int dir;
     if (!price_eligible(st, d, &score, &dir)) continue;  // stale: drop
     candidates_[kept++] = c;
-    if (score > best_score) {
+    if (better_candidate(score, c, best_score, best)) {
       best_score = score;
       best = c;
       best_dir = dir;
@@ -340,15 +424,47 @@ void Simplex::prepare_phase1_costs(std::vector<double>& costs) const {
     if (artificial_[c]) costs[c] = 1.0;
 }
 
-void Simplex::refactorize() {
+void Simplex::gather_basis_columns() {
+  scratch_factor_cols_.resize(n_rows_);
+  for (int k = 0; k < n_rows_; ++k) {
+    const Column& col = cols_[basis_[k]];
+    scratch_factor_cols_[k] = {col.rows.data(), col.vals.data(),
+                               static_cast<int>(col.rows.size())};
+  }
+}
+
+int Simplex::append_artificial(int row, double coeff) {
+  Column art;
+  art.rows = {row};
+  art.vals = {coeff};
+  art.lo = 0.0;
+  art.up = kInf;
+  art.cost = 0.0;
+  cols_.push_back(std::move(art));
+  model_index_.push_back(-1);
+  fingerprint_.push_back(cols_.size() - 1);
+  artificial_.push_back(1);
+  status_.push_back(VarStatus::Basic);
+  return static_cast<int>(cols_.size()) - 1;
+}
+
+void Simplex::sparse_refactorize() {
+  gather_basis_columns();
+  factor_.factorize(n_rows_, scratch_factor_cols_);
+}
+
+void Simplex::dense_refactorize() {
   // Rebuild B from the basic columns and invert with Gauss–Jordan + partial
   // pivoting.  Throws SolverError if the basis is numerically singular.
+  ++dense_refactorizations_;
   const int m = n_rows_;
   std::vector<double> b(static_cast<std::size_t>(m) * m, 0.0);
   for (int k = 0; k < m; ++k) {
     const Column& col = cols_[basis_[k]];
+    // += (not =): columns may carry duplicate row entries, which accumulate
+    // everywhere else (FTRAN, the sparse factor).
     for (std::size_t e = 0; e < col.rows.size(); ++e)
-      b[static_cast<std::size_t>(col.rows[e]) * m + k] = col.vals[e];
+      b[static_cast<std::size_t>(col.rows[e]) * m + k] += col.vals[e];
   }
   std::vector<double> inv(static_cast<std::size_t>(m) * m, 0.0);
   for (int i = 0; i < m; ++i) inv[static_cast<std::size_t>(i) * m + i] = 1.0;
@@ -395,11 +511,19 @@ void Simplex::refactorize() {
     for (int j = 0; j < m; ++j)
       binv_[static_cast<std::size_t>(j) * m + i] =
           inv[static_cast<std::size_t>(i) * m + j];
+}
+
+void Simplex::refactorize() {
+  if (sparse()) {
+    sparse_refactorize();
+  } else {
+    dense_refactorize();
+  }
   compute_basic_values();
 }
 
 SolveResult Simplex::run(bool phase1, long& iteration_budget) {
-  std::vector<double> costs;
+  std::vector<double>& costs = scratch_costs_;
   if (phase1) {
     prepare_phase1_costs(costs);
   } else {
@@ -409,11 +533,12 @@ SolveResult Simplex::run(bool phase1, long& iteration_budget) {
 
   // Duals for the current basis; kept incrementally up to date across
   // pivots and recomputed only on refactorization.
-  std::vector<double> y;
+  std::vector<double>& y = scratch_y_;
   compute_duals(costs, y);
   candidates_.clear();  // cost vector changed: stale scores mean nothing
 
-  std::vector<double> alpha, rho(n_rows_);
+  std::vector<double>& alpha = scratch_alpha_;
+  std::vector<double>& rho = scratch_rho_;
   bool bland = false;
   int degenerate_run = 0;
   int pivots_since_refactor = 0;
@@ -498,33 +623,47 @@ SolveResult Simplex::run(bool phase1, long& iteration_budget) {
     const double enter_from = (dir > 0) ? ecol.lo : ecol.up;
     xb_[leaving_row] = enter_from + dir * t;
 
-    // Rank-1 update of the column-major dense inverse, fused with the
-    // incremental dual update: with rho = row r of the old B^-1,
-    //   new row r   = rho / pivot
-    //   new row i   = old row i - alpha_i * (rho / pivot)      (i != r)
+    // Basis update, fused with the incremental dual update: with rho = row
+    // r of the old B^-1,
     //   new duals y = y + (d_entering / pivot) * rho
     // (the dual identity: the entering reduced cost must drop to zero and
-    // all other basic reduced costs stay zero).
+    // all other basic reduced costs stay zero).  Dense mode then applies
+    // the rank-1 Gauss–Jordan update to the explicit inverse; SparseLU mode
+    // appends one eta to the factor instead.
     const double pivot = alpha[leaving_row];
     OLIVE_ASSERT(std::abs(pivot) > kPivotTol / 10);
     const double inv_pivot = 1.0 / pivot;
     const double dual_step = entering_rc * inv_pivot;
     const int m = n_rows_;
+    basis_row(leaving_row, rho);
     for (int j = 0; j < m; ++j)
-      rho[j] = binv_[static_cast<std::size_t>(j) * m + leaving_row];
-    for (int j = 0; j < m; ++j) {
-      const double rj = rho[j];
-      double* colj = &binv_[static_cast<std::size_t>(j) * m];
-      if (rj != 0.0) {
+      if (rho[j] != 0.0) y[j] += dual_step * rho[j];
+
+    bool refreshed = false;
+    if (sparse()) {
+      if (!factor_.update(leaving_row, alpha)) {
+        // Pivot too small for a stable eta: refactorize the new basis.
+        refactorize();
+        refreshed = true;
+      }
+    } else {
+      for (int j = 0; j < m; ++j) {
+        const double rj = rho[j];
+        if (rj == 0.0) continue;
         const double pr = rj * inv_pivot;
+        double* colj = &binv_[static_cast<std::size_t>(j) * m];
         for (int i = 0; i < m; ++i) colj[i] -= alpha[i] * pr;
         colj[leaving_row] = pr;  // the i == leaving_row entry, exactly
-        y[j] += dual_step * rj;
       }
     }
 
-    if (++pivots_since_refactor >= options_.refactor_every) {
+    ++pivots_since_refactor;
+    if (!refreshed && (pivots_since_refactor >= options_.refactor_every ||
+                       (sparse() && factor_.needs_refactorization()))) {
       refactorize();
+      refreshed = true;
+    }
+    if (refreshed) {
       compute_duals(costs, y);
       pivots_since_refactor = 0;
     }
@@ -552,20 +691,48 @@ SolveResult Simplex::solve() {
     }
     phase1_iterations = p1.iterations;
   }
+  lock_artificials();
+  SolveResult res = resolve_internal(budget);
+  res.iterations += phase1_iterations;
+  return res;
+}
+
+void Simplex::lock_artificials() {
   // Lock any artificial still hanging around (basic at ~0).
   for (std::size_t c = 0; c < cols_.size(); ++c) {
     if (!artificial_[c]) continue;
     cols_[c].lo = cols_[c].up = 0.0;
     if (status_[c] != VarStatus::Basic) status_[c] = VarStatus::Fixed;
   }
-  SolveResult res = resolve_internal(budget);
-  res.iterations += phase1_iterations;
-  return res;
 }
 
 SolveResult Simplex::resolve() {
   OLIVE_REQUIRE(has_basis_, "resolve() requires a prior solve()");
   long budget = options_.max_iterations;
+
+  if (needs_phase1_) {
+    // A warm start that needed repair artificials: drive them out with a
+    // short phase 1 from the mostly-warm basis, then optimize as usual.
+    needs_phase1_ = false;
+    long phase1_iterations = 0;
+    if (phase1_infeasibility() > options_.feas_tol) {
+      SolveResult p1 = run(/*phase1=*/true, budget);
+      if (p1.status == Status::IterationLimit) return p1;
+      if (phase1_infeasibility() > std::max(options_.feas_tol, 1e-6)) {
+        // The repair basis could not reach feasibility (the true problem is
+        // feasible, so this is a numerical dead end): restart cold.
+        SolveResult cold = solve();
+        cold.iterations += p1.iterations;
+        return cold;
+      }
+      phase1_iterations = p1.iterations;
+    }
+    lock_artificials();
+    SolveResult res = resolve_internal(budget);
+    res.iterations += phase1_iterations;
+    return res;
+  }
+
   compute_basic_values();
   // If the basis drifted out of feasibility (should not happen when only
   // columns were added), fall back to a cold solve.
@@ -576,13 +743,47 @@ SolveResult Simplex::resolve() {
   return resolve_internal(budget);
 }
 
-SolveResult Simplex::resolve_internal(long& budget) {
-  SolveResult res = run(/*phase1=*/false, budget);
-  if (res.status != Status::Optimal && res.status != Status::Unbounded &&
-      res.status != Status::IterationLimit) {
-    return res;
+void Simplex::extract_solution(SolveResult& res) {
+  // Mode-independent extraction: basic values and duals are recomputed from
+  // a fresh sparse LU of the final basis, so Dense and SparseLU report
+  // bit-identical optima whenever they pivoted through the same bases.  In
+  // SparseLU mode this doubles as a free refactorization (the eta file is
+  // reset for the next resolve).
+  BasisFactor local(options_.factor);
+  BasisFactor* factor = nullptr;
+  try {
+    gather_basis_columns();
+    // Factorize into a scratch object first: a SolverError mid-elimination
+    // must not tear down the live factor (the fallback below and later
+    // resolve() calls keep solving against it in SparseLU mode).
+    local.factorize(n_rows_, scratch_factor_cols_);
+    if (sparse()) {
+      factor_.adopt(std::move(local));
+      factor = &factor_;
+    } else {
+      factor = &local;
+    }
+  } catch (const SolverError&) {
+    // A basis the pivoting machinery accepted but the LU tolerances reject:
+    // fall back to the incrementally maintained values.
+    factor = nullptr;
   }
-  if (res.status != Status::Optimal) return res;
+
+  if (factor != nullptr) {
+    std::vector<double>& v = scratch_values_;
+    v = rhs_;
+    const int n = static_cast<int>(cols_.size());
+    for (int c = 0; c < n; ++c) {
+      if (status_[c] == VarStatus::Basic) continue;
+      const double val = value_of(c);
+      if (val == 0.0) continue;
+      const Column& col = cols_[c];
+      for (std::size_t k = 0; k < col.rows.size(); ++k)
+        v[col.rows[k]] -= col.vals[k] * val;
+    }
+    factor->ftran(v);
+    xb_ = v;
+  }
 
   res.x.assign(n_structural_, 0.0);
   double obj = 0;
@@ -596,14 +797,43 @@ SolveResult Simplex::resolve_internal(long& budget) {
   }
   res.objective = obj;
 
-  std::vector<double> costs(cols_.size());
-  for (std::size_t c = 0; c < cols_.size(); ++c) costs[c] = cols_[c].cost;
-  compute_duals(costs, res.duals);
+  std::vector<double>& cb = scratch_cb_;
+  cb.resize(n_rows_);
+  bool any = false;
+  for (int k = 0; k < n_rows_; ++k) {
+    cb[k] = cols_[basis_[k]].cost;
+    any |= cb[k] != 0.0;
+  }
+  res.duals.assign(n_rows_, 0.0);
+  if (any) {
+    if (factor != nullptr) {
+      res.duals = cb;
+      factor->btran(res.duals);
+    } else {
+      std::vector<double>& costs = scratch_costs_;
+      costs.resize(cols_.size());
+      for (std::size_t c = 0; c < cols_.size(); ++c) costs[c] = cols_[c].cost;
+      compute_duals(costs, res.duals);
+    }
+  }
+}
+
+SolveResult Simplex::resolve_internal(long& budget) {
+  SolveResult res = run(/*phase1=*/false, budget);
+  if (res.status != Status::Optimal) return res;
+  extract_solution(res);
   return res;
 }
 
 int Simplex::add_column(double lo, double up, double cost,
                         const SparseColumn& entries) {
+  return add_column(lo, up, cost, entries,
+                    static_cast<std::uint64_t>(n_structural_));
+}
+
+int Simplex::add_column(double lo, double up, double cost,
+                        const SparseColumn& entries,
+                        std::uint64_t fingerprint) {
   OLIVE_REQUIRE(lo <= up, "column bounds must satisfy lo <= up");
   OLIVE_REQUIRE(lo > -kInf || up < kInf, "free variables are not supported");
   Column col;
@@ -618,6 +848,7 @@ int Simplex::add_column(double lo, double up, double cost,
   cols_.push_back(std::move(col));
   artificial_.push_back(0);
   model_index_.push_back(n_structural_);
+  fingerprint_.push_back(fingerprint);
   const int model_col = n_structural_++;
   if (has_basis_) {
     OLIVE_ASSERT(status_.size() == cols_.size() - 1);
@@ -627,6 +858,258 @@ int Simplex::add_column(double lo, double up, double cost,
     basis_pos_.push_back(-1);
   }
   return model_col;
+}
+
+WarmStart Simplex::save_warm_start(
+    const std::vector<std::uint64_t>& row_keys,
+    const std::vector<std::uint64_t>& col_keys) const {
+  OLIVE_REQUIRE(has_basis_, "save_warm_start requires a solved basis");
+  OLIVE_REQUIRE(static_cast<int>(row_keys.size()) == n_rows_,
+                "row_keys size mismatch");
+  OLIVE_REQUIRE(static_cast<int>(col_keys.size()) == n_structural_,
+                "col_keys size mismatch");
+  WarmStart ws;
+  ws.basic.reserve(n_rows_);
+  for (int r = 0; r < n_rows_; ++r) {
+    const int b = basis_[r];
+    WarmStart::BasicEntry e;
+    e.row_key = row_keys[r];
+    if (model_index_[b] >= 0) {
+      e.kind = WarmStart::BasicKind::Structural;
+      e.key = col_keys[model_index_[b]];
+    } else if (artificial_[b]) {
+      // A degenerate artificial still basic at ~0: the row restarts from
+      // its own slack.
+      e.kind = WarmStart::BasicKind::Slack;
+      e.key = row_keys[r];
+    } else {
+      // A slack, possibly basic in a different row than its own.
+      e.kind = WarmStart::BasicKind::Slack;
+      e.key = row_keys[cols_[b].rows[0]];
+    }
+    ws.basic.push_back(e);
+  }
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    if (model_index_[c] < 0) continue;
+    if (status_[c] == VarStatus::AtUpper)
+      ws.at_upper.push_back(col_keys[model_index_[c]]);
+  }
+  return ws;
+}
+
+bool Simplex::warm_factorize_repair(int* artificials_added) {
+  // Factorize the candidate warm basis, repairing rank deficiencies: a
+  // relaxed factorization runs elimination to the end and reports every
+  // row the basis no longer spans, paired with the (equally many) basis
+  // positions that never pivoted.  Exact ±1 cancellation chains through
+  // the convexity rows produce such deficiencies even when every recorded
+  // column survived.  Each pair gets a unit column — the row's slack when
+  // free, else a phase-1 artificial — and the result is factorized
+  // strictly.  Both basis modes run the repair through the sparse factor
+  // (it localizes the deficiency); Dense rebuilds its explicit inverse
+  // from the repaired basis afterwards.
+  gather_basis_columns();
+  BasisFactor probe(options_.factor);
+  BasisFactor& repair_factor = sparse() ? factor_ : probe;
+  std::vector<int> uncovered, unpivoted;
+  repair_factor.factorize_relaxed(n_rows_, scratch_factor_cols_, &uncovered,
+                                  &unpivoted);
+  for (std::size_t i = 0; i < uncovered.size(); ++i) {
+    const int bad = uncovered[i];
+    const int pos = unpivoted[i];
+    const int out = basis_[pos];
+    status_[out] = cols_[out].lo == cols_[out].up ? VarStatus::Fixed
+                   : cols_[out].lo > -kInf       ? VarStatus::AtLower
+                                                 : VarStatus::AtUpper;
+    basis_pos_[out] = -1;
+    const int slack = slack_col_[bad];
+    if (status_[slack] != VarStatus::Basic) {
+      basis_[pos] = slack;
+      status_[slack] = VarStatus::Basic;
+      basis_pos_[slack] = pos;
+    } else {
+      // Sign fixed by the caller's flip step.
+      basis_[pos] = append_artificial(bad, 1.0);
+      basis_pos_.push_back(pos);
+      ++*artificials_added;
+    }
+  }
+  try {
+    if (!uncovered.empty() && sparse()) {
+      sparse_refactorize();
+    } else if (!sparse()) {
+      dense_refactorize();
+    }
+    // (sparse with no repairs: the relaxed factorization completed and is
+    // already the valid factor.)
+  } catch (const SolverError&) {
+    return false;  // numerically singular even after repair: start cold
+  }
+  return true;
+}
+
+bool Simplex::try_warm_start(const WarmStart& ws,
+                             const std::vector<std::uint64_t>& row_keys,
+                             const std::vector<std::uint64_t>& col_keys) {
+  OLIVE_REQUIRE(static_cast<int>(row_keys.size()) == n_rows_,
+                "row_keys size mismatch");
+  OLIVE_REQUIRE(static_cast<int>(col_keys.size()) == n_structural_,
+                "col_keys size mismatch");
+  has_basis_ = false;
+  needs_phase1_ = false;
+  if (ws.empty() || n_rows_ == 0) return false;
+  drop_artificials();
+
+  std::unordered_map<std::uint64_t, int> row_of;
+  row_of.reserve(row_keys.size());
+  for (int r = 0; r < n_rows_; ++r)
+    if (!row_of.emplace(row_keys[r], r).second) return false;  // key clash
+  std::unordered_map<std::uint64_t, int> col_of;  // key -> internal column
+  col_of.reserve(col_keys.size());
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    if (model_index_[c] < 0) continue;
+    if (!col_of.emplace(col_keys[model_index_[c]], static_cast<int>(c)).second)
+      return false;  // key clash
+  }
+
+  reset_nonbasic_statuses();
+  for (const std::uint64_t key : ws.at_upper) {
+    const auto it = col_of.find(key);
+    if (it == col_of.end()) continue;
+    const Column& col = cols_[it->second];
+    if (col.up < kInf && col.lo != col.up)
+      status_[it->second] = VarStatus::AtUpper;
+  }
+
+  basis_.assign(n_rows_, -1);
+  std::vector<char> used(cols_.size(), 0);
+  for (const WarmStart::BasicEntry& e : ws.basic) {
+    const auto rit = row_of.find(e.row_key);
+    if (rit == row_of.end()) continue;  // row departed
+    int b = -1;
+    if (e.kind == WarmStart::BasicKind::Slack) {
+      const auto sit = row_of.find(e.key);
+      if (sit != row_of.end()) b = slack_col_[sit->second];
+    } else {
+      const auto cit = col_of.find(e.key);
+      if (cit != col_of.end()) b = cit->second;
+    }
+    if (b < 0 || used[b] || basis_[rit->second] >= 0) continue;
+    basis_[rit->second] = b;
+    used[b] = 1;
+  }
+  // Rows whose recorded basic column departed fall back to their own
+  // slack.  A fallback slack is a unit vector on its row, so it is exactly
+  // dependent with any basic *single-entry structural column* on the same
+  // row (quantile columns are ±e_c on their convexity row): installing
+  // both would make the basis singular.  Prefer the slack and kick the
+  // unit column out; the kicked column's position falls back in turn.
+  std::unordered_map<int, int> unit_position;  // entry row -> basis position
+  for (int r = 0; r < n_rows_; ++r) {
+    const int b = basis_[r];
+    if (b >= 0 && model_index_[b] >= 0 && cols_[b].rows.size() == 1)
+      unit_position.emplace(cols_[b].rows[0], r);
+  }
+  std::vector<int> fallback;
+  for (int r = 0; r < n_rows_; ++r)
+    if (basis_[r] < 0) fallback.push_back(r);
+  while (!fallback.empty()) {
+    const int r = fallback.back();
+    fallback.pop_back();
+    const int slack = slack_col_[r];
+    if (used[slack]) return false;  // this row's slack serves another row
+    const auto uit = unit_position.find(r);
+    if (uit != unit_position.end()) {
+      const int pos = uit->second;
+      used[basis_[pos]] = 0;
+      basis_[pos] = -1;
+      fallback.push_back(pos);
+      unit_position.erase(uit);
+    }
+    basis_[r] = slack;
+    used[slack] = 1;
+  }
+
+  for (int r = 0; r < n_rows_; ++r) status_[basis_[r]] = VarStatus::Basic;
+  basis_pos_.assign(cols_.size(), -1);
+  for (int r = 0; r < n_rows_; ++r) basis_pos_[basis_[r]] = r;
+  xb_.assign(n_rows_, 0.0);
+  int artificials_added = 0;
+
+  if (!warm_factorize_repair(&artificials_added)) return false;
+  compute_basic_values();
+
+  // Repair bound violations: data changes since the basis was saved
+  // (demand drift between slots) can push basic values out of their
+  // bounds.  Kick each violator to its nearest bound and cover its row
+  // with a phase-1 artificial; the caller's resolve() then runs a short
+  // phase 1 from this mostly-warm basis, which is far cheaper than a cold
+  // all-slack start.  Kicking changes the remaining basic values, so the
+  // repair iterates; a handful of passes always suffices in practice
+  // (capped, then cold).
+  constexpr int kMaxRepairPasses = 8;
+  for (int pass = 0;; ++pass) {
+    // An artificial's basic value is the row's residual gap; scaling its
+    // column by -1 flips exactly that component, making it non-negative.
+    bool flipped = false;
+    for (int r = 0; r < n_rows_; ++r) {
+      const int b = basis_[r];
+      if (artificial_[b] && xb_[r] < 0.0) {
+        cols_[b].vals[0] = -cols_[b].vals[0];
+        flipped = true;
+      }
+    }
+    if (flipped) {
+      if (!warm_factorize_repair(&artificials_added)) return false;
+      compute_basic_values();
+    }
+
+    std::vector<int> violated;
+    for (int r = 0; r < n_rows_; ++r) {
+      const Column& bcol = cols_[basis_[r]];
+      if (xb_[r] < bcol.lo - options_.feas_tol ||
+          xb_[r] > bcol.up + options_.feas_tol)
+        violated.push_back(r);
+    }
+    if (violated.empty()) break;
+    if (pass == kMaxRepairPasses) {
+      // The kicked columns keep redistributing load onto their neighbors
+      // instead of converging.  Terminal fallback: the status crash —
+      // every nonbasic variable keeps its warm bound, but the basis
+      // itself is rebuilt from slacks/artificials via residuals, which is
+      // feasible by construction.  Phase 1 then drives out the
+      // artificials from a near-optimal point, which still beats the cold
+      // all-slack start (where every status is at its default bound).
+      crash_basis_from_statuses();
+      needs_phase1_ = true;
+      has_basis_ = true;
+      return true;
+    }
+    for (const int r : violated) {
+      const int b = basis_[r];
+      const Column& bcol = cols_[b];
+      status_[b] = bcol.lo == bcol.up ? VarStatus::Fixed
+                   : xb_[r] < bcol.lo ? VarStatus::AtLower
+                                      : VarStatus::AtUpper;
+      basis_pos_[b] = -1;
+      // Sign fixed by the next pass's flip step.
+      basis_[r] = append_artificial(r, 1.0);
+      basis_pos_.push_back(r);
+      ++artificials_added;
+    }
+    if (!warm_factorize_repair(&artificials_added)) return false;
+    compute_basic_values();
+  }
+  needs_phase1_ = artificials_added > 0;
+  has_basis_ = true;
+  return true;
+}
+
+FactorStats Simplex::factor_stats() const noexcept {
+  if (sparse()) return factor_.stats();
+  FactorStats s;
+  s.refactorizations = dense_refactorizations_;
+  return s;
 }
 
 SolveResult solve_lp(const Model& model, SimplexOptions options) {

@@ -201,6 +201,53 @@ net::SubstrateNetwork erdos_renyi(Rng& rng, int nodes, int links) {
   return s;
 }
 
+net::SubstrateNetwork fat_tree(Rng& rng, int k) {
+  OLIVE_REQUIRE(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+  const int half = k / 2;
+  SubstrateNetwork s;
+
+  // (k/2)^2 core switches; core (i, j) uplinks aggregation switch i of
+  // every pod.
+  std::vector<std::vector<NodeId>> core(half, std::vector<NodeId>(half));
+  for (int i = 0; i < half; ++i)
+    for (int j = 0; j < half; ++j)
+      core[i][j] = add_tiered_node(
+          s, Tier::Core, "core" + std::to_string(i) + "_" + std::to_string(j),
+          rng);
+
+  for (int p = 0; p < k; ++p) {
+    const std::string pod = "p" + std::to_string(p);
+    std::vector<NodeId> agg(half), edge(half);
+    for (int a = 0; a < half; ++a)
+      agg[a] = add_tiered_node(s, Tier::Transport,
+                               pod + "agg" + std::to_string(a), rng);
+    for (int e = 0; e < half; ++e)
+      edge[e] = add_tiered_node(s, Tier::Transport,
+                                pod + "edge" + std::to_string(e), rng);
+    // Core <-> aggregation: agg a of every pod reaches core row a.
+    for (int a = 0; a < half; ++a)
+      for (int j = 0; j < half; ++j) add_tiered_link(s, agg[a], core[a][j]);
+    // Complete bipartite aggregation <-> edge inside the pod.
+    for (int a = 0; a < half; ++a)
+      for (int e = 0; e < half; ++e) add_tiered_link(s, agg[a], edge[e]);
+    // k/2 hosts per edge switch: the Edge-tier ingress datacenters.
+    for (int e = 0; e < half; ++e)
+      for (int h = 0; h < half; ++h) {
+        const NodeId host = add_tiered_node(
+            s, Tier::Edge,
+            pod + "e" + std::to_string(e) + "h" + std::to_string(h), rng);
+        add_tiered_link(s, host, edge[e]);
+      }
+  }
+
+  s.validate();
+  // (k/2)² core + k·(k/2) agg + k·(k/2) edge + k·(k/2)² hosts; each of the
+  // three layers contributes k·(k/2)² links.
+  OLIVE_ASSERT(s.num_nodes() == half * half + 2 * k * half + k * half * half);
+  OLIVE_ASSERT(s.num_links() == 3 * k * half * half);
+  return s;
+}
+
 std::vector<NamedTopology> evaluation_topologies(Rng& rng) {
   std::vector<NamedTopology> out;
   Rng r1 = rng.fork(stable_hash("iris"));

@@ -36,6 +36,17 @@ net::SubstrateNetwork citta_studi(Rng& rng);
 net::SubstrateNetwork fivegen(Rng& rng);
 net::SubstrateNetwork erdos_renyi(Rng& rng, int nodes = 100, int links = 150);
 
+/// Synthetic scale family: a k-ary fat-tree datacenter fabric (k even).
+/// (k/2)² core switches (Core tier), k pods of k/2 aggregation and k/2 edge
+/// switches (Transport tier), and k/2 hosts per edge switch (Edge tier —
+/// the ingress datacenters workloads arrive at).  Node/link attributes
+/// follow the Table II tier parameters, so utilization calibration and the
+/// application mix work unchanged.  k=8 gives 208 nodes / 384 links —
+/// several times the paper's largest topology — which is where the sparse
+/// basis factorization must beat the dense inverse (bench/perf_smoke
+/// "scale" cases).
+net::SubstrateNetwork fat_tree(Rng& rng, int k);
+
 /// All four evaluation topologies, keyed by their paper names.
 struct NamedTopology {
   std::string name;

@@ -25,42 +25,52 @@ void expect_rel_eq(double expected, double actual, const char* what) {
   EXPECT_NEAR(expected, actual, std::abs(expected) * kRelTol) << what;
 }
 
-TEST(GoldenTrace, SlotOffTenSlotIrisWindow) {
-  Rng rng(stable_hash("golden-trace"));
-  const auto s = topo::iris(rng);
-
-  std::vector<net::Application> apps;
-  apps.push_back(
-      {"golden-chain", net::VirtualNetwork::chain({2.0, 1.0}, {1.0, 0.5})});
-  apps.push_back(
-      {"golden-star", net::VirtualNetwork({0, 0}, {1.0, 3.0}, {2.0, 1.0})});
-
-  // Demands are sized against Iris's edge tier (node 200k CU, link 100k CU)
-  // so the window oversubscribes: some requests must be dropped, and at
-  // least one established request must be preempted by a later re-plan.
-  workload::Trace trace;
-  // {id, arrival, duration, ingress, app, demand}
-  trace.push_back({0, 0, 4, 3, 0, 80000});
-  trace.push_back({1, 0, 6, 17, 1, 150000});
-  trace.push_back({2, 1, 3, 3, 0, 120000});
-  trace.push_back({3, 1, 5, 8, 1, 70000});
-  trace.push_back({4, 2, 4, 3, 0, 150000});
-  trace.push_back({5, 2, 2, 29, 0, 130000});
-  trace.push_back({6, 3, 6, 17, 1, 110000});
-  trace.push_back({7, 4, 3, 3, 1, 90000});
-  trace.push_back({8, 5, 4, 8, 0, 130000});
-  trace.push_back({9, 6, 2, 29, 1, 80000});
-  trace.push_back({10, 7, 3, 17, 0, 120000});
-  trace.push_back({11, 8, 2, 3, 0, 150000});
-  trace.push_back({12, 9, 1, 8, 1, 140000});
-
+SlotOffConfig golden_config() {
   SlotOffConfig so;
   so.sim.measure_from = 0;
   so.sim.measure_to = 10;
   so.sim.drain_slots = 0;
   so.plan.max_rounds = 8;
-  const SimMetrics m = run_slotoff(s, apps, trace, so);
+  return so;
+}
 
+struct GoldenScenario {
+  net::SubstrateNetwork substrate;
+  std::vector<net::Application> apps;
+  workload::Trace trace;
+};
+
+GoldenScenario golden_scenario() {
+  Rng rng(stable_hash("golden-trace"));
+  GoldenScenario g;
+  g.substrate = topo::iris(rng);
+
+  g.apps.push_back(
+      {"golden-chain", net::VirtualNetwork::chain({2.0, 1.0}, {1.0, 0.5})});
+  g.apps.push_back(
+      {"golden-star", net::VirtualNetwork({0, 0}, {1.0, 3.0}, {2.0, 1.0})});
+
+  // Demands are sized against Iris's edge tier (node 200k CU, link 100k CU)
+  // so the window oversubscribes: some requests must be dropped, and at
+  // least one established request must be preempted by a later re-plan.
+  // {id, arrival, duration, ingress, app, demand}
+  g.trace.push_back({0, 0, 4, 3, 0, 80000});
+  g.trace.push_back({1, 0, 6, 17, 1, 150000});
+  g.trace.push_back({2, 1, 3, 3, 0, 120000});
+  g.trace.push_back({3, 1, 5, 8, 1, 70000});
+  g.trace.push_back({4, 2, 4, 3, 0, 150000});
+  g.trace.push_back({5, 2, 2, 29, 0, 130000});
+  g.trace.push_back({6, 3, 6, 17, 1, 110000});
+  g.trace.push_back({7, 4, 3, 3, 1, 90000});
+  g.trace.push_back({8, 5, 4, 8, 0, 130000});
+  g.trace.push_back({9, 6, 2, 29, 1, 80000});
+  g.trace.push_back({10, 7, 3, 17, 0, 120000});
+  g.trace.push_back({11, 8, 2, 3, 0, 150000});
+  g.trace.push_back({12, 9, 1, 8, 1, 140000});
+  return g;
+}
+
+void expect_golden_outcomes(const SimMetrics& m) {
   // Outcome tallies (exact).
   EXPECT_EQ(m.offered, 13);
   EXPECT_EQ(m.accepted, 7);
@@ -80,13 +90,65 @@ TEST(GoldenTrace, SlotOffTenSlotIrisWindow) {
   EXPECT_EQ(m.plan_solves, 10);
   EXPECT_EQ(m.plan_rounds, 7);
   EXPECT_EQ(m.plan_columns_generated, 8);
-  EXPECT_EQ(m.plan_simplex_iterations, 336);
 
   // Costs (tight relative tolerance).
   expect_rel_eq(8741503.5961576905, m.resource_cost, "resource_cost");
   expect_rel_eq(713855581.82998705, m.rejection_cost, "rejection_cost");
   expect_rel_eq(21718310.407213915, m.plan_objective_sum,
                 "plan_objective_sum");
+}
+
+TEST(GoldenTrace, SlotOffTenSlotIrisWindow) {
+  const GoldenScenario g = golden_scenario();
+  const SimMetrics m = run_slotoff(g.substrate, g.apps, g.trace, golden_config());
+  expect_golden_outcomes(m);
+  // Basis warm starts: the first slot is necessarily cold; every later slot
+  // re-starts from the previous optimal basis and the pivot count drops by
+  // more than half relative to the cold-start path pinned below.
+  EXPECT_EQ(m.plan_warm_start_hits, 9);
+  EXPECT_EQ(m.plan_simplex_iterations, 152);
+}
+
+TEST(GoldenTrace, ColdStartsReproduceTheSameWindowWithMorePivots) {
+  const GoldenScenario g = golden_scenario();
+  SlotOffConfig so = golden_config();
+  so.warm_start = false;
+  const SimMetrics m = run_slotoff(g.substrate, g.apps, g.trace, so);
+  // Identical outcomes, costs, and per-slot LP objective sums — the warm
+  // start changes only where the simplex starts, never where it ends.
+  expect_golden_outcomes(m);
+  EXPECT_EQ(m.plan_warm_start_hits, 0);
+  EXPECT_EQ(m.plan_simplex_iterations, 336);
+}
+
+TEST(GoldenTrace, PricingModesReproduceTheSameWindow) {
+  // Reduced-cost ties are broken by column fingerprint in every pricing
+  // mode, so the full-Dantzig and candidate-list paths walk the same
+  // per-slot rounding trajectory and the golden numbers pin both.
+  for (const bool partial : {false, true}) {
+    const GoldenScenario g = golden_scenario();
+    SlotOffConfig so = golden_config();
+    so.plan.lp.partial_pricing = partial;
+    so.plan.lp.partial_pricing_min_cols = 0;  // engage the list everywhere
+    so.plan.lp.candidate_list_size = 8;
+    const SimMetrics m = run_slotoff(g.substrate, g.apps, g.trace, so);
+    expect_golden_outcomes(m);
+  }
+}
+
+TEST(GoldenTrace, BasisModesReproduceTheSameWindow) {
+  // The Dense reference basis must reproduce the golden outcomes and costs
+  // (the differential suite in tests/lp_differential_test.cpp checks
+  // bit-identity of the LP layer).  Pivot counts are deliberately not
+  // pinned across basis modes: the two engines produce last-ulp-different
+  // FTRAN images, so a degenerate ratio-test tie may resolve differently
+  // on another compiler/arch without changing any outcome.
+  const GoldenScenario g = golden_scenario();
+  SlotOffConfig so = golden_config();
+  so.plan.lp.basis = lp::BasisKind::Dense;
+  const SimMetrics m = run_slotoff(g.substrate, g.apps, g.trace, so);
+  expect_golden_outcomes(m);
+  EXPECT_EQ(m.plan_warm_start_hits, 9);
 }
 
 }  // namespace

@@ -1,0 +1,232 @@
+// Dense vs SparseLU differential suite: the two basis representations must
+// report *bit-identical* optima whenever they pivot through the same bases
+// — both modes extract the final solution from the same sparse LU of the
+// final basis, so any divergence indicates a real trajectory split.
+//
+// Coverage: raw LPs (objective/x/duals, cold and under column generation)
+// and full PLAN-VNE solves across seeds × {Iris, CittaStudi, FatTree4} ×
+// pricing threads {1, 4} (the determinism contract makes thread count a
+// no-op; the sweep pins that this still holds per basis mode), including
+// warm-started re-solves under demand churn.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "lp/simplex.hpp"
+#include "net/embedding.hpp"
+#include "util/rng.hpp"
+
+namespace olive {
+namespace {
+
+lp::SimplexOptions with_basis(lp::BasisKind basis) {
+  lp::SimplexOptions o;
+  o.basis = basis;
+  return o;
+}
+
+TEST(BasisDifferential, RandomLpsBitIdentical) {
+  Rng rng(stable_hash("basis-differential-lp"));
+  for (int draw = 0; draw < 12; ++draw) {
+    lp::Model m;
+    const int cols = 80, rows = 22;
+    for (int c = 0; c < cols; ++c)
+      m.add_col(0, rng.uniform(0.5, 2.0), rng.uniform(-5.0, 5.0));
+    for (int r = 0; r < rows; ++r) {
+      lp::Sense sense = lp::Sense::LE;
+      double rhs = rng.uniform(1.0, 10.0);
+      if (draw % 2 == 1 && r % 5 == 2) {  // odd draws exercise phase 1
+        sense = lp::Sense::GE;
+        rhs = rng.uniform(0.1, 0.5);
+      }
+      const int row = m.add_row(sense, rhs);
+      for (int k = 0; k < 6; ++k)
+        m.add_entry(row, static_cast<int>(rng.below(cols)),
+                    rng.uniform(0.1, 1.5));
+    }
+    const auto dense = lp::solve_lp(m, with_basis(lp::BasisKind::Dense));
+    const auto sparse = lp::solve_lp(m, with_basis(lp::BasisKind::SparseLU));
+    ASSERT_EQ(dense.status, sparse.status) << "draw " << draw;
+    if (dense.status != lp::Status::Optimal) continue;
+    EXPECT_EQ(dense.objective, sparse.objective) << "draw " << draw;
+    ASSERT_EQ(dense.x.size(), sparse.x.size());
+    for (std::size_t i = 0; i < dense.x.size(); ++i)
+      EXPECT_EQ(dense.x[i], sparse.x[i]) << "draw " << draw << " x" << i;
+    ASSERT_EQ(dense.duals.size(), sparse.duals.size());
+    for (std::size_t i = 0; i < dense.duals.size(); ++i)
+      EXPECT_EQ(dense.duals[i], sparse.duals[i]) << "draw " << draw << " y" << i;
+  }
+}
+
+TEST(BasisDifferential, ColumnGenerationBitIdentical) {
+  Rng rng(stable_hash("basis-differential-colgen"));
+  lp::Model m;
+  for (int c = 0; c < 50; ++c)
+    m.add_col(0, rng.uniform(0.5, 2.0), rng.uniform(-4.0, 4.0));
+  for (int r = 0; r < 18; ++r) {
+    const int row = m.add_row(lp::Sense::LE, rng.uniform(2.0, 9.0));
+    for (int k = 0; k < 5; ++k)
+      m.add_entry(row, static_cast<int>(rng.below(50)), rng.uniform(0.1, 1.3));
+  }
+  lp::Simplex dense(m, with_basis(lp::BasisKind::Dense));
+  lp::Simplex sparse(m, with_basis(lp::BasisKind::SparseLU));
+  auto rd = dense.solve();
+  auto rs = sparse.solve();
+  ASSERT_EQ(rd.status, lp::Status::Optimal);
+  ASSERT_EQ(rs.status, lp::Status::Optimal);
+  EXPECT_EQ(rd.objective, rs.objective);
+  for (int batch = 0; batch < 4; ++batch) {
+    for (int k = 0; k < 20; ++k) {
+      const double up = rng.uniform(0.5, 2.0);
+      const double cost = rng.uniform(-6.0, 1.0);
+      lp::SparseColumn entries;
+      for (int e = 0; e < 4; ++e)
+        entries.emplace_back(static_cast<int>(rng.below(18)),
+                             rng.uniform(0.1, 1.4));
+      dense.add_column(0, up, cost, entries);
+      sparse.add_column(0, up, cost, entries);
+    }
+    rd = dense.resolve();
+    rs = sparse.resolve();
+    ASSERT_EQ(rd.status, lp::Status::Optimal) << "batch " << batch;
+    ASSERT_EQ(rs.status, lp::Status::Optimal) << "batch " << batch;
+    EXPECT_EQ(rd.objective, rs.objective) << "batch " << batch;
+    for (std::size_t i = 0; i < rd.duals.size(); ++i)
+      EXPECT_EQ(rd.duals[i], rs.duals[i]) << "batch " << batch << " y" << i;
+  }
+}
+
+class PlanBasisDifferential
+    : public ::testing::TestWithParam<std::tuple<std::string, int, int>> {};
+
+core::ScenarioConfig differential_config(const std::string& topology,
+                                         int seed, int threads) {
+  core::ScenarioConfig cfg;
+  cfg.topology = topology;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  cfg.trace.horizon = 260;
+  cfg.trace.plan_slots = 200;
+  cfg.plan.threads = threads;
+  return cfg;
+}
+
+struct PlanInventory {
+  /// Per class, in order: (embedding fingerprint, fraction).
+  struct Col {
+    std::uint64_t fingerprint;
+    double fraction;
+  };
+  std::vector<std::vector<Col>> classes;
+};
+
+/// Solves the scenario's aggregates under `basis` and returns the solve
+/// info plus the plan's full column inventory.
+std::pair<core::PlanSolveInfo, PlanInventory> solve_with(
+    const core::Scenario& sc, lp::BasisKind basis, int threads,
+    core::PlanWarmStart* warm = nullptr,
+    const std::vector<core::AggregateRequest>* aggs = nullptr) {
+  core::PlanVneConfig cfg = sc.config.plan;
+  cfg.lp.basis = basis;
+  cfg.threads = threads;
+  core::PlanSolveInfo info;
+  const core::Plan plan =
+      core::solve_plan_vne(sc.substrate, sc.apps, aggs ? *aggs : sc.aggregates,
+                           cfg, &info, nullptr, warm);
+  PlanInventory inventory;
+  for (int c = 0; c < plan.num_classes(); ++c) {
+    std::vector<PlanInventory::Col> cls;
+    for (const auto& col : plan.cls(c).columns)
+      cls.push_back({net::fingerprint64(col.embedding), col.fraction});
+    inventory.classes.push_back(std::move(cls));
+  }
+  return {info, std::move(inventory)};
+}
+
+TEST_P(PlanBasisDifferential, ObjectivesAndColumnSetsBitIdentical) {
+  const auto& [topology, seed, threads] = GetParam();
+  const core::Scenario sc =
+      core::build_scenario(differential_config(topology, seed, threads));
+
+  const auto [dense_info, dense_cols] =
+      solve_with(sc, lp::BasisKind::Dense, threads);
+  const auto [sparse_info, sparse_cols] =
+      solve_with(sc, lp::BasisKind::SparseLU, threads);
+
+  // The LP optimum, the pricing trajectory (rounds, generated columns),
+  // and the plan's column inventory must be bitwise identical between
+  // basis modes.  Column *fractions* are compared at last-ulp tolerance
+  // instead: on a degenerate optimal face the two modes may pick
+  // different vertices with the exact same objective and column set
+  // (equal-cost embeddings), and pinning the fraction bits would just pin
+  // which vertex the tie landed on.
+  EXPECT_EQ(dense_info.objective, sparse_info.objective);
+  EXPECT_EQ(dense_info.columns_generated, sparse_info.columns_generated);
+  EXPECT_EQ(dense_info.rounds, sparse_info.rounds);
+  ASSERT_EQ(dense_cols.classes.size(), sparse_cols.classes.size());
+  for (std::size_t c = 0; c < dense_cols.classes.size(); ++c) {
+    ASSERT_EQ(dense_cols.classes[c].size(), sparse_cols.classes[c].size())
+        << "class " << c;
+    for (std::size_t k = 0; k < dense_cols.classes[c].size(); ++k) {
+      EXPECT_EQ(dense_cols.classes[c][k].fingerprint,
+                sparse_cols.classes[c][k].fingerprint)
+          << "class " << c << " col " << k;
+      EXPECT_NEAR(dense_cols.classes[c][k].fraction,
+                  sparse_cols.classes[c][k].fraction,
+                  1e-9 * (1 + std::abs(dense_cols.classes[c][k].fraction)))
+          << "class " << c << " col " << k;
+    }
+  }
+}
+
+TEST_P(PlanBasisDifferential, WarmStartedResolvesAgree) {
+  // Warm-started re-solves run phase 1 from a repaired basis, where the
+  // two modes' pivot choices can split on degenerate ties and land on
+  // *different vertices of the same optimal face* — equal objective,
+  // different per-class allocations among equal-cost embeddings.  So this
+  // test pins the invariants: the optimum value (to last-ulp tolerance),
+  // warm-hit parity, and the class structure.  The cold differential
+  // above is the strong bitwise check.
+  const auto& [topology, seed, threads] = GetParam();
+  const core::Scenario sc =
+      core::build_scenario(differential_config(topology, seed, threads));
+
+  // Consecutive-slot regime: demand churn per rep, basis carried across.
+  Rng churn_rng(stable_hash("basis-differential-churn"));
+  core::PlanWarmStart dense_warm, sparse_warm;
+  for (int rep = 0; rep < 3; ++rep) {
+    Rng r = churn_rng.fork(static_cast<std::uint64_t>(seed * 10 + rep));
+    auto aggs = sc.aggregates;
+    for (auto& a : aggs) a.demand *= r.uniform(0.93, 1.07);
+    const auto [dense_info, dense_cols] =
+        solve_with(sc, lp::BasisKind::Dense, threads, &dense_warm, &aggs);
+    const auto [sparse_info, sparse_cols] =
+        solve_with(sc, lp::BasisKind::SparseLU, threads, &sparse_warm, &aggs);
+    EXPECT_NEAR(dense_info.objective, sparse_info.objective,
+                1e-12 * std::abs(dense_info.objective))
+        << "rep " << rep;
+    EXPECT_EQ(dense_info.warm_start_hit, sparse_info.warm_start_hit)
+        << "rep " << rep;
+    EXPECT_EQ(dense_cols.classes.size(), sparse_cols.classes.size())
+        << "rep " << rep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, PlanBasisDifferential,
+    ::testing::Combine(::testing::Values(std::string("Iris"),
+                                         std::string("CittaStudi"),
+                                         std::string("FatTree4")),
+                       ::testing::Values(3, 17),
+                       ::testing::Values(1, 4)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param)) + "_t" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace olive

@@ -143,6 +143,52 @@ TEST(GpuVariant, MarksNodesAndShrinksOthers) {
   EXPECT_EQ(gpu_edge, 4);
 }
 
+TEST(FatTree, CountsAndStructure) {
+  for (const int k : {2, 4, 8}) {
+    Rng rng(11);
+    const auto s = fat_tree(rng, k);
+    const int half = k / 2;
+    EXPECT_EQ(s.num_nodes(), half * half + 2 * k * half + k * half * half);
+    EXPECT_EQ(s.num_links(), 3 * k * half * half);
+    EXPECT_TRUE(s.is_connected());
+    // Tier census: cores, switches, hosts.
+    int core = 0, transport = 0, edge = 0;
+    for (net::NodeId v = 0; v < s.num_nodes(); ++v) {
+      switch (s.node(v).tier) {
+        case Tier::Core: ++core; break;
+        case Tier::Transport: ++transport; break;
+        case Tier::Edge: ++edge; break;
+      }
+    }
+    EXPECT_EQ(core, half * half);
+    EXPECT_EQ(transport, 2 * k * half);
+    EXPECT_EQ(edge, k * half * half);
+  }
+}
+
+TEST(FatTree, HostsAreSingleHomedAndSwitchesFollowTierParams) {
+  Rng rng(12);
+  const auto s = fat_tree(rng, 4);
+  for (net::NodeId v = 0; v < s.num_nodes(); ++v) {
+    const auto& n = s.node(v);
+    if (n.tier == Tier::Edge) {
+      // Hosts hang off exactly one edge switch.
+      EXPECT_EQ(s.adjacency(v).size(), 1u);
+      EXPECT_EQ(s.node(s.adjacency(v)[0].first).tier, Tier::Transport);
+    }
+    const TierParams p = tier_params(n.tier);
+    EXPECT_DOUBLE_EQ(n.capacity, p.node_capacity);
+    EXPECT_GE(n.cost, 0.5 * p.mean_node_cost);
+    EXPECT_LE(n.cost, 1.5 * p.mean_node_cost);
+  }
+}
+
+TEST(FatTree, RejectsOddArity) {
+  Rng rng(13);
+  EXPECT_THROW(fat_tree(rng, 3), InvalidArgument);
+  EXPECT_THROW(fat_tree(rng, 0), InvalidArgument);
+}
+
 TEST(EvaluationTopologySet, ProvidesAllFour) {
   Rng rng(8);
   const auto all = evaluation_topologies(rng);
