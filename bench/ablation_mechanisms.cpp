@@ -8,9 +8,10 @@
 // guarantees, no-preempt lets borrowers squat on guaranteed capacity.
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olive;
-  const auto scale = bench::bench_scale();
+  const auto& cli = bench::parse_cli(argc, argv);
+  const auto scale = cli.scale;
   bench::print_header("Ablation: OLIVE mechanisms, Iris", scale);
 
   Table table({"utilization_pct", "variant", "rejection_rate_pct",
@@ -21,6 +22,7 @@ int main() {
     for (const std::string variant :
          {"OLIVE", "OLIVE-NoBorrow", "OLIVE-NoPreempt", "OLIVE-PlanOnly",
           "QuickG"}) {
+      if (!bench::algo_selected(variant)) continue;
       const auto res = bench::run_repetitions(cfg, variant, scale.reps);
       bench::stream_row(table, {Table::num(100 * u, 0), variant,
                                 bench::pct(res.rejection_rate),
@@ -29,5 +31,6 @@ int main() {
   }
   std::cout << "\n";
   table.print(std::cout);
+  bench::write_json("ablation_mechanisms", {&table});
   return 0;
 }

@@ -8,9 +8,10 @@
 #include "bench/common.hpp"
 #include "core/aggregation.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olive;
-  const auto scale = bench::bench_scale();
+  const auto& cli = bench::parse_cli(argc, argv);
+  const auto scale = cli.scale;
   bench::print_header("Ablation: aggregation percentile, Iris @100%", scale);
 
   Table table({"alpha", "rejection_rate_pct", "total_cost",
@@ -45,5 +46,6 @@ int main() {
   }
   std::cout << "\n";
   table.print(std::cout);
+  bench::write_json("ablation_percentile", {&table});
   return 0;
 }

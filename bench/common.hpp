@@ -4,9 +4,16 @@
 // scales are supported:
 //   * quick (default): reduced horizon / repetitions so the whole harness
 //     finishes in minutes on a laptop;
-//   * full  (OLIVE_REPRO_FULL=1): the paper's 6000-slot traces with
-//     5400-slot histories and more repetitions.
-// OLIVE_BENCH_REPS=<n> overrides the repetition count at either scale.
+//   * full  (--scale full, or OLIVE_REPRO_FULL=1): the paper's 6000-slot
+//     traces with 5400-slot histories and more repetitions.
+//
+// Every bench parses one shared command line via parse_cli():
+//   --scale quick|full   harness scale (env OLIVE_REPRO_FULL seeds default)
+//   --reps <n>           repetition override (env OLIVE_BENCH_REPS default)
+//   --topology <filter>  substring filter over swept topology names
+//   --algo <filter>      substring filter over swept algorithm names
+//   --json <path>        machine-readable dump of the bench's tables
+//   --threads <n>        sets OLIVE_THREADS for this process
 //
 // Repetitions run in parallel on the shared thread pool (OLIVE_THREADS
 // controls the width; 1 disables it).  Each repetition owns its RNG streams
@@ -57,6 +64,90 @@ inline BenchScale bench_scale() {
     s.reps = std::max(1, std::atoi(reps));
   }
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// Shared bench command line.
+
+struct BenchCli {
+  BenchScale scale;
+  std::string topology;  ///< substring filter over swept topologies
+  std::string algo;      ///< substring filter over swept algorithms/variants
+  std::string json;      ///< machine-readable output path; empty = off
+  /// The explicit --reps value, or 0 when the flag was absent (scale.reps
+  /// already reflects it either way; benches with their own rep defaults
+  /// check this to tell "flag given" from "scale default").
+  int reps_override = 0;
+};
+
+/// The parsed CLI of this bench process (set once by parse_cli).
+inline BenchCli& bench_cli() {
+  static BenchCli cli;
+  return cli;
+}
+
+[[noreturn]] inline void cli_usage(const char* prog, int exit_code) {
+  std::cout << "usage: " << prog
+            << " [--scale quick|full] [--reps N] [--topology FILTER]"
+               " [--algo FILTER] [--json PATH] [--threads N]\n"
+               "Filters are substring matches over the names a bench sweeps;"
+               " env defaults: OLIVE_REPRO_FULL=1, OLIVE_BENCH_REPS=N.\n";
+  std::exit(exit_code);
+}
+
+/// Parses the shared flags (see the header comment), stores the result in
+/// bench_cli(), and returns it.  Call first thing in every bench main().
+inline const BenchCli& parse_cli(int argc, char** argv) {
+  BenchCli cli;
+  cli.scale = bench_scale();  // env-seeded defaults
+  int reps_override = 0;
+  const auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) cli_usage(argv[0], 2);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scale") {
+      const std::string v = value(i);
+      if (v == "full") {
+        setenv("OLIVE_REPRO_FULL", "1", 1);
+      } else if (v == "quick") {
+        unsetenv("OLIVE_REPRO_FULL");
+      } else {
+        cli_usage(argv[0], 2);
+      }
+      cli.scale = bench_scale();
+    } else if (arg == "--reps") {
+      reps_override = std::max(1, std::atoi(value(i).c_str()));
+    } else if (arg == "--topology") {
+      cli.topology = value(i);
+    } else if (arg == "--algo") {
+      cli.algo = value(i);
+    } else if (arg == "--json") {
+      cli.json = value(i);
+    } else if (arg == "--threads") {
+      setenv("OLIVE_THREADS", value(i).c_str(), 1);
+    } else if (arg == "--help" || arg == "-h") {
+      cli_usage(argv[0], 0);
+    } else {
+      cli_usage(argv[0], 2);
+    }
+  }
+  if (reps_override > 0) cli.scale.reps = reps_override;
+  cli.reps_override = reps_override;
+  bench_cli() = cli;
+  return bench_cli();
+}
+
+/// Substring filter (empty filter selects everything).
+inline bool selected(const std::string& filter, const std::string& name) {
+  return filter.empty() || name.find(filter) != std::string::npos;
+}
+inline bool topology_selected(const std::string& name) {
+  return selected(bench_cli().topology, name);
+}
+inline bool algo_selected(const std::string& name) {
+  return selected(bench_cli().algo, name);
 }
 
 /// Base scenario config at the harness scale.
@@ -185,8 +276,58 @@ inline void stream_row(Table& table, const std::vector<std::string>& cells) {
   std::cout << std::endl;  // flush for live progress
 }
 
+inline std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+/// Writes the bench's tables to the --json path (no-op without --json):
+/// `{"bench": ..., "scale": ..., "tables": [{"columns": [...],
+/// "rows": [[...], ...]}, ...]}`.  Cells stay the printed strings, so the
+/// dump is exactly what the CSV stream showed.
+inline void write_json(const std::string& bench,
+                       std::initializer_list<const Table*> tables) {
+  const BenchCli& cli = bench_cli();
+  if (cli.json.empty()) return;
+  std::ofstream out(cli.json);
+  if (!out) {
+    std::cerr << "# error: cannot open --json path " << cli.json << "\n";
+    std::exit(1);
+  }
+  out << "{\n  \"bench\": " << json_str(bench) << ",\n  \"scale\": \""
+      << (cli.scale.full ? "full" : "quick") << "\",\n  \"reps\": "
+      << cli.scale.reps << ",\n  \"tables\": [";
+  bool first_table = true;
+  for (const Table* t : tables) {
+    out << (first_table ? "" : ",") << "\n    {\"columns\": [";
+    first_table = false;
+    for (std::size_t i = 0; i < t->header().size(); ++i)
+      out << (i ? ", " : "") << json_str(t->header()[i]);
+    out << "],\n     \"rows\": [";
+    for (std::size_t r = 0; r < t->row_data().size(); ++r) {
+      out << (r ? ",\n              " : "") << "[";
+      const auto& cells = t->row_data()[r];
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        out << (i ? ", " : "") << json_str(cells[i]);
+      out << "]";
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "# error: failed writing " << cli.json << "\n";
+    std::exit(1);
+  }
+  std::cout << "# wrote " << cli.json << "\n";
+}
+
 // ---------------------------------------------------------------------------
-// BENCH_perf.json emission (schema olive-perf-v3, see EXPERIMENTS.md).
+// BENCH_perf.json emission (schema olive-perf-v4, see EXPERIMENTS.md).
 // Shared here so the perf harness and any future bench emit identical rows.
 
 /// One measured case of the perf trajectory.
@@ -205,10 +346,13 @@ struct PerfCase {
   long refactorizations = 0;
   long eta_length_max = 0;
   long warm_start_hits = 0;
-  /// Regression check: last solve's LP objective for plan cases, the sum of
-  /// per-slot LP objectives for SLOTOFF windows.
+  /// Regression check: last solve's LP objective for plan cases, the sum
+  /// of per-slot (or per-replan) LP objectives for SLOTOFF/replan windows.
   double objective = 0;
-  double rejection_rate = -1;  ///< SLOTOFF cases only; -1 elsewhere
+  double rejection_rate = -1;  ///< SLOTOFF/replan cases only; -1 elsewhere
+  /// v4: mid-run re-plans installed by the engine's ReplanPolicy
+  /// (replan_window case only; 0 elsewhere).
+  long replans = 0;
 };
 
 inline std::string json_num(double v) {
@@ -222,7 +366,7 @@ inline void write_perf_json(const std::string& path, const BenchScale& scale,
                             const std::vector<PerfCase>& cases) {
   std::ofstream out(path);
   out << "{\n"
-      << "  \"schema\": \"olive-perf-v3\",\n"
+      << "  \"schema\": \"olive-perf-v4\",\n"
       << "  \"scale\": \"" << (scale.full ? "full" : "quick") << "\",\n"
       << "  \"pricing_threads\": " << pricing_threads << ",\n"
       << "  \"harness_threads\": 1,\n"
@@ -242,7 +386,8 @@ inline void write_perf_json(const std::string& path, const BenchScale& scale,
         << ", \"eta_length_max\": " << c.eta_length_max
         << ", \"warm_start_hits\": " << c.warm_start_hits
         << ", \"objective\": " << json_num(c.objective)
-        << ", \"rejection_rate\": " << json_num(c.rejection_rate) << "}"
+        << ", \"rejection_rate\": " << json_num(c.rejection_rate)
+        << ", \"replans\": " << c.replans << "}"
         << (i + 1 < cases.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

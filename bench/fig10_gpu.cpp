@@ -7,9 +7,10 @@
 // above SLOTOFF and ~12% below FULLG.
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olive;
-  const auto scale = bench::bench_scale();
+  const auto& cli = bench::parse_cli(argc, argv);
+  const auto scale = cli.scale;
   bench::print_header("Fig. 10: GPU scenario, Iris @100%", scale);
 
   auto cfg = bench::base_config(scale, "Iris", 1.0);
@@ -25,6 +26,7 @@ int main() {
   Table table({"algorithm", "rejection_rate_pct", "algo_seconds"});
   std::cout << "algorithm,rejection_rate_pct,algo_seconds\n";
   for (const std::string algo : {"FullG", "OLIVE", "SlotOff"}) {
+    if (!bench::algo_selected(algo)) continue;
     const auto res =
         bench::run_repetitions(cfg, algo, bench::algo_reps(scale, algo));
     bench::stream_row(table, {algo, bench::pct(res.rejection_rate),
@@ -32,5 +34,6 @@ int main() {
   }
   std::cout << "\n";
   table.print(std::cout);
+  bench::write_json("fig10_gpu", {&table});
   return 0;
 }

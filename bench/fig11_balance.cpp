@@ -6,9 +6,10 @@
 // beyond 10 quantiles adds nothing (hence P=10 everywhere else).
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olive;
-  const auto scale = bench::bench_scale();
+  const auto& cli = bench::parse_cli(argc, argv);
+  const auto scale = cli.scale;
   bench::print_header("Fig. 11: balance index by quantiles, Iris @140%", scale);
 
   Table table({"algorithm", "quantiles", "balance_index"});
@@ -26,13 +27,18 @@ int main() {
     return stats::mean_ci(vals);
   };
 
-  bench::stream_row(table, {"QuickG", "-",
-                            bench::with_ci(balance_of("QuickG", 10), 3)});
-  for (const int q : {1, 2, 10, 50}) {
-    bench::stream_row(table, {"OLIVE", std::to_string(q),
-                              bench::with_ci(balance_of("OLIVE", q), 3)});
+  if (bench::algo_selected("QuickG")) {
+    bench::stream_row(table, {"QuickG", "-",
+                              bench::with_ci(balance_of("QuickG", 10), 3)});
+  }
+  if (bench::algo_selected("OLIVE")) {
+    for (const int q : {1, 2, 10, 50}) {
+      bench::stream_row(table, {"OLIVE", std::to_string(q),
+                                bench::with_ci(balance_of("OLIVE", q), 3)});
+    }
   }
   std::cout << "\n";
   table.print(std::cout);
+  bench::write_json("fig11_balance", {&table});
   return 0;
 }

@@ -11,9 +11,10 @@
 
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olive;
-  const auto scale = bench::bench_scale();
+  const auto& cli = bench::parse_cli(argc, argv);
+  const auto scale = cli.scale;
   bench::print_header("Fig. 12: 'Franklin' node timeline, Iris @100% (OLIVE)",
                       scale);
 
@@ -82,5 +83,6 @@ int main() {
     }
   }
   table.print(std::cout);
+  bench::write_json("fig12_node_timeline", {&table});
   return 0;
 }

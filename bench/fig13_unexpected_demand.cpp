@@ -7,9 +7,10 @@
 // demand far exceeds expectations.
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olive;
-  const auto scale = bench::bench_scale();
+  const auto& cli = bench::parse_cli(argc, argv);
+  const auto scale = cli.scale;
   bench::print_header(
       "Fig. 13: plan/demand mismatch, Iris: demand @140%, plan @{60,100,140}%",
       scale);
@@ -17,21 +18,25 @@ int main() {
   Table table({"algorithm", "plan_built_for_pct", "rejection_rate_pct"});
   std::cout << "algorithm,plan_built_for_pct,rejection_rate_pct\n";
 
-  for (const double plan_u : {0.6, 1.0, 1.4}) {
-    auto cfg = bench::base_config(scale, "Iris", 1.4);
-    cfg.plan_utilization = plan_u;
-    const auto res = bench::run_repetitions(cfg, "OLIVE", scale.reps);
-    bench::stream_row(table, {"OLIVE", Table::num(100 * plan_u, 0),
-                              bench::pct(res.rejection_rate)});
+  if (bench::algo_selected("OLIVE")) {
+    for (const double plan_u : {0.6, 1.0, 1.4}) {
+      auto cfg = bench::base_config(scale, "Iris", 1.4);
+      cfg.plan_utilization = plan_u;
+      const auto res = bench::run_repetitions(cfg, "OLIVE", scale.reps);
+      bench::stream_row(table, {"OLIVE", Table::num(100 * plan_u, 0),
+                                bench::pct(res.rejection_rate)});
+    }
   }
   // References at the observed utilization.
   const auto cfg = bench::base_config(scale, "Iris", 1.4);
   for (const std::string algo : {"QuickG", "SlotOff"}) {
+    if (!bench::algo_selected(algo)) continue;
     const auto res =
         bench::run_repetitions(cfg, algo, bench::algo_reps(scale, algo));
     bench::stream_row(table, {algo, "-", bench::pct(res.rejection_rate)});
   }
   std::cout << "\n";
   table.print(std::cout);
+  bench::write_json("fig13_unexpected_demand", {&table});
   return 0;
 }

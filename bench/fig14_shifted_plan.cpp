@@ -6,29 +6,37 @@
 // stays below QUICKG's and the costs are similar.
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olive;
-  const auto scale = bench::bench_scale();
+  const auto& cli = bench::parse_cli(argc, argv);
+  const auto scale = cli.scale;
   bench::print_header("Fig. 14: spatially shifted plan input, Iris", scale);
 
   Table table({"utilization_pct", "algorithm", "rejection_rate_pct",
                "total_cost"});
   std::cout << "utilization_pct,algorithm,rejection_rate_pct,total_cost\n";
   for (const double u : bench::utilization_points(scale)) {
-    auto shifted = bench::base_config(scale, "Iris", u);
-    shifted.shuffle_plan_ingress = true;
-    const auto olive_res = bench::run_repetitions(shifted, "OLIVE", scale.reps);
-    bench::stream_row(table, {Table::num(100 * u, 0), "OLIVE(shifted)",
-                              bench::pct(olive_res.rejection_rate),
-                              bench::with_ci(olive_res.total_cost)});
+    if (bench::algo_selected("OLIVE(shifted)")) {
+      auto shifted = bench::base_config(scale, "Iris", u);
+      shifted.shuffle_plan_ingress = true;
+      const auto olive_res =
+          bench::run_repetitions(shifted, "OLIVE", scale.reps);
+      bench::stream_row(table, {Table::num(100 * u, 0), "OLIVE(shifted)",
+                                bench::pct(olive_res.rejection_rate),
+                                bench::with_ci(olive_res.total_cost)});
+    }
 
-    const auto cfg = bench::base_config(scale, "Iris", u);
-    const auto quickg_res = bench::run_repetitions(cfg, "QuickG", scale.reps);
-    bench::stream_row(table, {Table::num(100 * u, 0), "QuickG",
-                              bench::pct(quickg_res.rejection_rate),
-                              bench::with_ci(quickg_res.total_cost)});
+    if (bench::algo_selected("QuickG")) {
+      const auto cfg = bench::base_config(scale, "Iris", u);
+      const auto quickg_res =
+          bench::run_repetitions(cfg, "QuickG", scale.reps);
+      bench::stream_row(table, {Table::num(100 * u, 0), "QuickG",
+                                bench::pct(quickg_res.rejection_rate),
+                                bench::with_ci(quickg_res.total_cost)});
+    }
   }
   std::cout << "\n";
   table.print(std::cout);
+  bench::write_json("fig14_shifted_plan", {&table});
   return 0;
 }

@@ -9,9 +9,10 @@
 // cost differences than the MMPP workload.
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olive;
-  const auto scale = bench::bench_scale();
+  const auto& cli = bench::parse_cli(argc, argv);
+  const auto scale = cli.scale;
   bench::print_header("Fig. 15: CAIDA-like demand, Iris", scale);
 
   Table table({"utilization_pct", "algorithm", "rejection_rate_pct",
@@ -21,6 +22,7 @@ int main() {
     auto cfg = bench::base_config(scale, "Iris", u);
     cfg.use_caida = true;
     for (const std::string algo : {"OLIVE", "QuickG", "SlotOff"}) {
+      if (!bench::algo_selected(algo)) continue;
       const auto res =
           bench::run_repetitions(cfg, algo, bench::algo_reps(scale, algo));
       bench::stream_row(table, {Table::num(100 * u, 0), algo,
@@ -30,5 +32,6 @@ int main() {
   }
   std::cout << "\n";
   table.print(std::cout);
+  bench::write_json("fig15_caida", {&table});
   return 0;
 }

@@ -15,9 +15,10 @@
 // the per-rep wall clock (the reported metrics are still deterministic).
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olive;
-  const auto scale = bench::bench_scale();
+  const auto& cli = bench::parse_cli(argc, argv);
+  const auto scale = cli.scale;
   bench::print_header("Fig. 16: runtime scalability", scale);
 
   std::cout << "## (a) Iris @100%: runtime vs arrival rate\n";
@@ -29,6 +30,7 @@ int main() {
     auto cfg = bench::base_config(scale, "Iris", 1.0);
     cfg.trace.lambda_per_node = lambda;
     for (const std::string algo : {"OLIVE", "QuickG"}) {
+      if (!bench::algo_selected(algo)) continue;
       const auto rows = bench::map_repetitions(
           cfg, scale.reps,
           [&](const core::Scenario& sc, int) -> std::array<double, 2> {
@@ -57,9 +59,11 @@ int main() {
   std::cout << "topology,utilization_pct,algorithm,algo_seconds\n";
   for (const std::string topo :
        {"Iris", "CittaStudi", "5GEN", "100N150E"}) {
+    if (!bench::topology_selected(topo)) continue;
     for (const double u : bench::utilization_points(scale)) {
       const auto cfg = bench::base_config(scale, topo, u);
       for (const std::string algo : {"OLIVE", "QuickG"}) {
+        if (!bench::algo_selected(algo)) continue;
         const auto res = bench::run_repetitions(cfg, algo, scale.reps);
         bench::stream_row(tb, {topo, Table::num(100 * u, 0), algo,
                                Table::num(res.algo_seconds.mean, 3)});
@@ -68,5 +72,6 @@ int main() {
   }
   std::cout << "\n";
   tb.print(std::cout);
+  bench::write_json("fig16_runtime", {&ta, &tb});
   return 0;
 }

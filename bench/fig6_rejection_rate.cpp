@@ -6,9 +6,10 @@
 // percentage points of SLOTOFF.
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olive;
-  const auto scale = bench::bench_scale();
+  const auto& cli = bench::parse_cli(argc, argv);
+  const auto scale = cli.scale;
   bench::print_header("Fig. 6: rejection rate vs utilization", scale);
 
   const std::vector<std::string> topologies{"Iris", "CittaStudi", "5GEN",
@@ -19,9 +20,11 @@ int main() {
                "rejection_rate_pct"});
   std::cout << "topology,utilization_pct,algorithm,rejection_rate_pct\n";
   for (const auto& topo : topologies) {
+    if (!bench::topology_selected(topo)) continue;
     for (const double u : bench::utilization_points(scale)) {
       const auto cfg = bench::base_config(scale, topo, u);
       for (const auto& algo : algos) {
+        if (!bench::algo_selected(algo)) continue;
         if (algo == "SlotOff" && !bench::slotoff_enabled(scale, topo)) continue;
         const auto res =
             bench::run_repetitions(cfg, algo, bench::algo_reps(scale, algo));
@@ -32,5 +35,6 @@ int main() {
   }
   std::cout << "\n";
   table.print(std::cout);
+  bench::write_json("fig6_rejection_rate", {&table});
   return 0;
 }

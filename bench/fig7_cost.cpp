@@ -5,9 +5,10 @@
 // every topology, staying close to SLOTOFF.
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olive;
-  const auto scale = bench::bench_scale();
+  const auto& cli = bench::parse_cli(argc, argv);
+  const auto scale = cli.scale;
   bench::print_header("Fig. 7: total cost vs utilization", scale);
 
   const std::vector<std::string> topologies{"Iris", "CittaStudi", "5GEN",
@@ -19,9 +20,11 @@ int main() {
   std::cout << "topology,utilization_pct,algorithm,total_cost,resource_cost,"
                "rejection_cost\n";
   for (const auto& topo : topologies) {
+    if (!bench::topology_selected(topo)) continue;
     for (const double u : bench::utilization_points(scale)) {
       const auto cfg = bench::base_config(scale, topo, u);
       for (const auto& algo : algos) {
+        if (!bench::algo_selected(algo)) continue;
         if (algo == "SlotOff" && !bench::slotoff_enabled(scale, topo)) continue;
         const auto res =
             bench::run_repetitions(cfg, algo, bench::algo_reps(scale, algo));
@@ -35,5 +38,6 @@ int main() {
   }
   std::cout << "\n";
   table.print(std::cout);
+  bench::write_json("fig7_cost", {&table});
   return 0;
 }

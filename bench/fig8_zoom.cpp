@@ -7,9 +7,10 @@
 // momentarily trails by up to ~2x but still doubles QUICKG.
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olive;
-  const auto scale = bench::bench_scale();
+  const auto& cli = bench::parse_cli(argc, argv);
+  const auto scale = cli.scale;
   bench::print_header("Fig. 8: allocated vs requested demand, Iris @140%",
                       scale);
   // The paper zooms into slots 200-230; at quick scale the window starts
@@ -33,5 +34,6 @@ int main() {
                    Table::num(slotoff_m.allocated_series.at(t), 0)});
   }
   table.print(std::cout);
+  bench::write_json("fig8_zoom", {&table});
   return 0;
 }

@@ -8,9 +8,10 @@
 // rejections.
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olive;
-  const auto scale = bench::bench_scale();
+  const auto& cli = bench::parse_cli(argc, argv);
+  const auto scale = cli.scale;
   bench::print_header("Fig. 9: rejection rate by application type, Iris @100%",
                       scale);
 
@@ -44,6 +45,7 @@ int main() {
       cfg.sim.drain_slots = 25;
     }
     for (const auto& algo : algos) {
+      if (!bench::algo_selected(algo)) continue;
       const auto res =
           bench::run_repetitions(cfg, algo, bench::algo_reps(scale, algo));
       bench::stream_row(table,
@@ -53,5 +55,6 @@ int main() {
   }
   std::cout << "\n";
   table.print(std::cout);
+  bench::write_json("fig9_app_types", {&table});
   return 0;
 }

@@ -10,17 +10,19 @@
 // EXPERIMENTS.md "Performance smoke test" for the schema and how to diff
 // runs.
 //
-// Knobs: OLIVE_PERF_OUT=<path> (default BENCH_perf.json in the CWD),
-// OLIVE_REPRO_FULL=1 for the paper-scale horizon, OLIVE_BENCH_REPS=<n>,
-// OLIVE_THREADS=<n> for the pricing thread count (1 = exact serial path;
-// results are bit-identical either way, only wall-clock moves).  The
-// timed repetitions themselves always run serially — parallel reps would
-// contend with pricing workers and corrupt the timings — so
-// harness_threads is recorded as 1 here.
+// Knobs: the shared bench CLI (--json <path> for the output, --scale full
+// for the paper-scale horizon, --reps, --threads; see bench/common.hpp),
+// plus the OLIVE_PERF_OUT / OLIVE_REPRO_FULL / OLIVE_BENCH_REPS /
+// OLIVE_THREADS env equivalents.  Results are bit-identical at every
+// thread count, only wall-clock moves.  The timed repetitions themselves
+// always run serially — parallel reps would contend with pricing workers
+// and corrupt the timings — so harness_threads is recorded as 1 here.
 #include <algorithm>
 #include <chrono>
 
 #include "bench/common.hpp"
+#include "core/olive.hpp"
+#include "engine/engine.hpp"
 
 namespace {
 
@@ -36,7 +38,8 @@ void print_case(const olive::bench::PerfCase& c) {
             << c.simplex_iterations << "," << c.pricing_rounds << ","
             << c.columns_generated << "," << c.refactorizations << ","
             << c.eta_length_max << "," << c.warm_start_hits << ","
-            << olive::bench::json_num(c.objective) << std::endl;
+            << olive::bench::json_num(c.objective) << "," << c.replans
+            << std::endl;
 }
 
 void accumulate(olive::bench::PerfCase& c, const olive::core::PlanSolveInfo& info,
@@ -53,18 +56,22 @@ void accumulate(olive::bench::PerfCase& c, const olive::core::PlanSolveInfo& inf
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olive;
-  const auto scale = bench::bench_scale();
+  const auto& cli = bench::parse_cli(argc, argv);
+  const auto scale = cli.scale;
   bench::print_header("perf_smoke: plan-solve + SLOTOFF hot-path timings",
                       scale);
-  // OLIVE_BENCH_REPS overrides the plan-solve repetition count (as in the
-  // other benches); the default favors run-to-run comparability.
-  const int plan_reps =
-      std::getenv("OLIVE_BENCH_REPS") ? scale.reps : (scale.full ? 10 : 5);
+  // --reps / OLIVE_BENCH_REPS override the plan-solve repetition count (as
+  // in the other benches); the default favors run-to-run comparability.
+  const bool reps_overridden = cli.reps_override > 0 ||
+                               std::getenv("OLIVE_BENCH_REPS") != nullptr;
+  const int plan_reps = reps_overridden ? scale.reps : (scale.full ? 10 : 5);
   const int slotoff_slots = scale.full ? 60 : 25;
   const char* out_env = std::getenv("OLIVE_PERF_OUT");
-  const std::string out_path = out_env ? out_env : "BENCH_perf.json";
+  const std::string out_path = !cli.json.empty() ? cli.json
+                               : out_env         ? out_env
+                                                 : "BENCH_perf.json";
 
   const int pricing_threads = olive::default_thread_count();
   std::cout << "# pricing_threads=" << pricing_threads
@@ -72,7 +79,7 @@ int main() {
   std::vector<bench::PerfCase> cases;
   std::cout << "case,topology,basis,reps,seconds_total,simplex_iterations,"
                "pricing_rounds,columns_generated,refactorizations,"
-               "eta_length_max,warm_start_hits,objective\n";
+               "eta_length_max,warm_start_hits,objective,replans\n";
 
   for (const std::string topo : {"Iris", "CittaStudi"}) {
     const auto cfg = bench::base_config(scale, topo, 1.0);
@@ -143,6 +150,46 @@ int main() {
     cases.push_back(slot);
 
     for (auto it = cases.end() - 3; it != cases.end(); ++it) print_case(*it);
+  }
+
+  // --- replan window --------------------------------------------------------
+  // The mid-run re-planning regime on the drifting-utilization scenario:
+  // an Iris OLIVE run whose online demand ramps to 2.5x the plan's
+  // expectation while the engine's ReplanPolicy re-solves the trailing
+  // window at two fixed boundaries (async on the pool, installs one slot
+  // later, basis warm-started across re-plans).  The row reports the
+  // re-plan solves' pivots/warm hits next to the SLOTOFF rows; `objective`
+  // is the sum of the re-plan LP objectives (deterministic, diffed by CI).
+  {
+    auto cfg = bench::base_config(scale, "Iris", 1.0);
+    cfg.drift = 1.5;
+    const core::Scenario sc = core::build_scenario(cfg, 0);
+    engine::EngineConfig ecfg;
+    ecfg.sim = cfg.sim;
+    ecfg.replan.period = (scale.horizon - scale.plan_slots) / 3;
+    ecfg.replan.plan = cfg.plan;
+    ecfg.replan.plan.max_rounds = 8;
+    ecfg.replan.seed = cfg.seed;
+    engine::Engine eng(sc.substrate, sc.apps, ecfg);
+    core::OliveEmbedder algo(sc.substrate, sc.apps, sc.plan, "OLIVE");
+    bench::PerfCase rp;
+    rp.name = "replan_window";
+    rp.topology = "Iris";
+    const auto start = Clock::now();
+    const auto m = eng.run(algo, sc.online);
+    rp.seconds_total = seconds_since(start);
+    rp.reps = static_cast<int>(m.plan_solves);
+    rp.replans = m.replans;
+    rp.simplex_iterations = m.plan_simplex_iterations;
+    rp.pricing_rounds = m.plan_rounds;
+    rp.columns_generated = m.plan_columns_generated;
+    rp.refactorizations = m.plan_refactorizations;
+    rp.eta_length_max = m.plan_eta_length_max;
+    rp.warm_start_hits = m.plan_warm_start_hits;
+    rp.objective = m.plan_objective_sum;
+    rp.rejection_rate = m.rejection_rate();
+    cases.push_back(rp);
+    print_case(rp);
   }
 
   // --- fat-tree scale cases -------------------------------------------------

@@ -3,15 +3,17 @@
 // numbers) and the tier capacity/cost table the builders implement.
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olive;
-  const auto scale = bench::bench_scale();
+  const auto& cli = bench::parse_cli(argc, argv);
+  const auto scale = cli.scale;
   bench::print_header("Table II: topologies and tier parameters", scale);
 
   Rng rng(42);
   Table t({"topology", "nodes", "links", "edge_nodes", "transport_nodes",
            "core_nodes"});
   for (auto& [name, s] : topo::evaluation_topologies(rng)) {
+    if (!bench::topology_selected(name)) continue;
     t.add_row({name, std::to_string(s.num_nodes()),
                std::to_string(s.num_links()),
                std::to_string(s.nodes_in_tier(net::Tier::Edge).size()),
@@ -32,5 +34,6 @@ int main() {
                Table::num(tp.link_cost, 0)});
   }
   p.print(std::cout);
+  bench::write_json("table2_topologies", {&t, &p});
   return 0;
 }

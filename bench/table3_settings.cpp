@@ -6,9 +6,10 @@
 
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace olive;
-  const auto scale = bench::bench_scale();
+  const auto& cli = bench::parse_cli(argc, argv);
+  const auto scale = cli.scale;
   bench::print_header("Table III: experimental settings (spec vs measured)",
                       scale);
 
@@ -67,5 +68,6 @@ int main() {
                  std::to_string(max_vnfs) + "] in this draw"});
   t.add_row({"Function/link size", "N(50,900)", "N(50,30^2) truncated at 1"});
   t.print(std::cout);
+  bench::write_json("table3_settings", {&t});
   return 0;
 }

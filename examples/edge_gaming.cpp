@@ -11,6 +11,8 @@
 #include <iostream>
 
 #include "core/scenario.hpp"
+#include "engine/engine.hpp"
+#include "engine/registry.hpp"
 
 int main() {
   using namespace olive;
@@ -30,8 +32,13 @@ int main() {
   std::cout << "  " << sc.online.size() << " live session requests, "
             << sc.plan.num_classes() << " planned classes\n\n";
 
+  // One engine per scenario; algorithms are resolved by name through the
+  // registry (plugins registered with OLIVE_REGISTER_ALGORITHM appear here
+  // automatically).
+  engine::Engine eng(sc.substrate, sc.apps,
+                     engine::EngineConfig{sc.config.sim, {}});
   for (const std::string algo : {"OLIVE", "QuickG"}) {
-    const auto m = core::run_algorithm(sc, algo);
+    const auto m = engine::EmbedderRegistry::instance().run(algo, eng, sc);
     long planned = 0, borrowed = 0, greedy = 0;
     for (const auto& rec : m.records) {
       switch (rec.kind) {

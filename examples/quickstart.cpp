@@ -4,7 +4,7 @@
 //  2. Define an application (a chain of VNFs rooted at the user node θ).
 //  3. Generate a request history and aggregate it per (app, ingress).
 //  4. Solve PLAN-VNE to get a globally optimized embedding plan.
-//  5. Run OLIVE over live requests and inspect the outcome.
+//  5. Run OLIVE over live requests on the engine and inspect the outcome.
 //
 // Build & run:  ./build/examples/quickstart
 #include <iostream>
@@ -12,7 +12,7 @@
 #include "core/aggregation.hpp"
 #include "core/olive.hpp"
 #include "core/plan_solver.hpp"
-#include "core/simulator.hpp"
+#include "engine/engine.hpp"
 #include "topo/topologies.hpp"
 #include "workload/appgen.hpp"
 #include "workload/tracegen.hpp"
@@ -59,13 +59,16 @@ int main() {
             << info.objective << " (" << info.rounds
             << " column-generation rounds)\n";
 
-  // 5. Run OLIVE on the online portion and report.
+  // 5. Run OLIVE on the online portion and report.  The engine owns the
+  // slot loop (releases -> arrivals -> metrics); swap in any registered
+  // embedder, add observers, or configure `EngineConfig::replan` for
+  // mid-run re-planning.
   core::OliveEmbedder olive(substrate, apps, plan);
-  core::SimulatorConfig scfg;
-  scfg.measure_from = 0;
-  scfg.measure_to = 200;
-  const core::SimMetrics m =
-      core::run_online(substrate, apps, online, olive, scfg);
+  engine::EngineConfig ecfg;
+  ecfg.sim.measure_from = 0;
+  ecfg.sim.measure_to = 200;
+  engine::Engine eng(substrate, apps, ecfg);
+  const core::SimMetrics m = eng.run(olive, online);
   std::cout << "OLIVE: offered " << m.offered << ", accepted " << m.accepted
             << ", rejected " << m.rejected << " (rate "
             << 100 * m.rejection_rate() << "%), resource cost "

@@ -1,12 +1,13 @@
 // Interface shared by the per-request online embedding algorithms
 // (OLIVE, QUICKG, FULLG).  The SLOTOFF baseline re-allocates whole slots and
-// has its own driver (see simulator.hpp).
+// has its own driver (engine::Engine::run_slotoff; see engine/engine.hpp).
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "core/load.hpp"
+#include "core/plan.hpp"
 #include "workload/request.hpp"
 
 namespace olive::core {
@@ -48,6 +49,15 @@ class OnlineEmbedder {
   /// Releases the resources of a departing accepted request.  Calling this
   /// for a rejected or preempted request is a no-op.
   virtual void depart(const workload::Request& r) = 0;
+
+  /// Replaces the embedder's plan mid-run (the engine's ReplanPolicy calls
+  /// this at the deterministic swap slot).  Returns false when the embedder
+  /// has no notion of a plan — the default — in which case the engine stops
+  /// re-planning for the rest of the run.
+  virtual bool install_plan(Plan plan) {
+    (void)plan;
+    return false;
+  }
 
   /// Residual substrate view (diagnostics / tests).
   virtual const LoadTracker& load() const = 0;

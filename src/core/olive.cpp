@@ -31,7 +31,7 @@ OliveEmbedder::OliveEmbedder(const net::SubstrateNetwork& s,
   reset();
 }
 
-void OliveEmbedder::install_plan(Plan plan) {
+bool OliveEmbedder::install_plan(Plan plan) {
   plan_ = std::move(plan);
   plan_used_.assign(plan_.num_classes(), {});
   for (int c = 0; c < plan_.num_classes(); ++c)
@@ -43,6 +43,7 @@ void OliveEmbedder::install_plan(Plan plan) {
     a.planned = false;
     a.cls = a.column = -1;
   }
+  return true;
 }
 
 void OliveEmbedder::reset() {

@@ -40,12 +40,12 @@ class OliveEmbedder final : public OnlineEmbedder {
                 std::string name = "OLIVE", OliveOptions options = {});
 
   /// Replaces the plan mid-run (the paper's future-work hook for
-  /// time-dependent expected demand: re-plan at window boundaries).
-  /// Currently-active planned allocations are re-classified as borrowed —
-  /// they keep their resources but no longer hold guaranteed shares of the
-  /// new plan, and become preemptible like any other non-planned
-  /// allocation.
-  void install_plan(Plan plan);
+  /// time-dependent expected demand: re-plan at window boundaries —
+  /// engine::ReplanPolicy drives this).  Currently-active planned
+  /// allocations are re-classified as borrowed — they keep their resources
+  /// but no longer hold guaranteed shares of the new plan, and become
+  /// preemptible like any other non-planned allocation.
+  bool install_plan(Plan plan) override;
 
   std::string name() const override { return name_; }
   void reset() override;

@@ -1,10 +1,9 @@
 #include "core/scenario.hpp"
 
-#include <algorithm>
 #include <cstdlib>
 
-#include "core/fullg.hpp"
-#include "core/olive.hpp"
+#include "engine/engine.hpp"
+#include "engine/registry.hpp"
 #include "util/error.hpp"
 
 namespace olive::core {
@@ -62,6 +61,7 @@ Scenario build_scenario(const ScenarioConfig& config, int rep) {
   tcfg.demand_mean = workload::utilization_to_demand_mean(
       sc.substrate, sc.apps, tcfg, config.utilization);
   tcfg.demand_std = 0.4 * tcfg.demand_mean;
+  tcfg.drift = config.drift;
 
   Rng trace_rng = rep_rng.fork(stable_hash("trace"));
   const workload::Trace full = generate_trace(sc, tcfg, trace_rng);
@@ -105,40 +105,12 @@ Scenario build_scenario(const ScenarioConfig& config, int rep) {
 }
 
 SimMetrics run_algorithm(const Scenario& sc, const std::string& algorithm) {
-  if (algorithm == "OLIVE") {
-    OliveEmbedder algo(sc.substrate, sc.apps, sc.plan, "OLIVE");
-    return run_online(sc.substrate, sc.apps, sc.online, algo, sc.config.sim);
-  }
-  // Ablation variants: OLIVE with individual §III-C mechanisms disabled.
-  if (algorithm == "OLIVE-NoBorrow" || algorithm == "OLIVE-NoPreempt" ||
-      algorithm == "OLIVE-PlanOnly") {
-    OliveOptions opts;
-    if (algorithm == "OLIVE-NoBorrow") opts.enable_borrow = false;
-    if (algorithm == "OLIVE-NoPreempt") opts.enable_preempt = false;
-    if (algorithm == "OLIVE-PlanOnly") {
-      opts.enable_borrow = opts.enable_preempt = opts.enable_greedy = false;
-    }
-    OliveEmbedder algo(sc.substrate, sc.apps, sc.plan, algorithm, opts);
-    return run_online(sc.substrate, sc.apps, sc.online, algo, sc.config.sim);
-  }
-  if (algorithm == "QuickG") {
-    OliveEmbedder algo(sc.substrate, sc.apps, Plan::empty(), "QuickG");
-    return run_online(sc.substrate, sc.apps, sc.online, algo, sc.config.sim);
-  }
-  if (algorithm == "FullG") {
-    FullGreedyEmbedder algo(sc.substrate, sc.apps);
-    return run_online(sc.substrate, sc.apps, sc.online, algo, sc.config.sim);
-  }
-  if (algorithm == "SlotOff") {
-    SlotOffConfig cfg;
-    cfg.sim = sc.config.sim;
-    cfg.plan = sc.config.plan;
-    // The per-slot OFF-VNE instances start from the warm column cache, so a
-    // handful of pricing rounds per slot recovers near-optimality.
-    cfg.plan.max_rounds = std::min(cfg.plan.max_rounds, 8);
-    return run_slotoff(sc.substrate, sc.apps, sc.online, cfg);
-  }
-  throw InvalidArgument("unknown algorithm: " + algorithm);
+  // Compatibility wrapper: the registry owns algorithm creation now (the
+  // built-ins register themselves in engine/algorithms.cpp; plugins via
+  // OLIVE_REGISTER_ALGORITHM).  Throws InvalidArgument for unknown names.
+  engine::Engine eng(sc.substrate, sc.apps,
+                     engine::EngineConfig{sc.config.sim, {}});
+  return engine::EmbedderRegistry::instance().run(algorithm, eng, sc);
 }
 
 }  // namespace olive::core

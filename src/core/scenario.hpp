@@ -44,6 +44,13 @@ struct ScenarioConfig {
   double plan_utilization = -1.0;
   /// Fig. 14: shuffle each history request's ingress before aggregation.
   bool shuffle_plan_ingress = false;
+  /// Drifting-utilization scenario (the mid-run re-planning workload):
+  /// ramps the online demand linearly so edge utilization climbs from
+  /// `utilization` at the start of the test period to
+  /// `utilization · (1 + drift)` at its end.  History — and hence the
+  /// static plan — never sees the ramp.  MMPP traces only (the CAIDA
+  /// generator ignores it).  0 disables.
+  double drift = 0.0;
 };
 
 /// One fully materialized repetition.
@@ -62,8 +69,11 @@ struct Scenario {
 /// different applications/trace draws, as in the paper's 30 executions).
 Scenario build_scenario(const ScenarioConfig& config, int rep = 0);
 
-/// Runs one algorithm on a built scenario.  `algorithm` is one of
-/// "OLIVE", "QuickG", "FullG", "SlotOff".
+/// Runs one algorithm on a built scenario by name, resolved through the
+/// engine::EmbedderRegistry — built-ins are "OLIVE" (plus the
+/// "OLIVE-NoBorrow"/"OLIVE-NoPreempt"/"OLIVE-PlanOnly" ablation variants),
+/// "QuickG", "FullG", "SlotOff"; plugins add more.  Construct an
+/// engine::Engine directly for observer hooks or mid-run re-planning.
 SimMetrics run_algorithm(const Scenario& scenario, const std::string& algorithm);
 
 }  // namespace olive::core

@@ -1,4 +1,11 @@
-// Discrete-time simulation drivers and metrics (paper §IV).
+// Simulation metrics (paper §IV) and the legacy run entry points.
+//
+// The slot-driven event loops live in engine::Engine (src/engine/engine.hpp)
+// since the engine redesign; `run_online` and `run_slotoff` below are thin
+// compatibility wrappers over it and are kept only so existing callers and
+// the golden tests need no changes — new code should construct an Engine
+// (observer hooks, mid-run re-planning) or go through the
+// engine::EmbedderRegistry.
 //
 // run_online drives a per-request OnlineEmbedder (OLIVE / QUICKG / FULLG)
 // over a trace: each slot first releases departing requests, then processes
@@ -92,8 +99,9 @@ struct SimMetrics {
   /// Wall-clock seconds spent inside the algorithm (Fig. 16's runtime).
   double algo_seconds = 0;
 
-  /// SLOTOFF only: master-LP work aggregated over the per-slot solves
-  /// (zero for the online algorithms, which solve no master LP).
+  /// Master-LP work aggregated over every PLAN-VNE solve the run performed:
+  /// the per-slot OFF-VNE solves for SLOTOFF, the mid-run re-plan solves
+  /// when the engine's ReplanPolicy is on, zero for plain online runs.
   long plan_solves = 0;
   long plan_simplex_iterations = 0;
   long plan_rounds = 0;
@@ -105,6 +113,11 @@ struct SimMetrics {
   long plan_warm_start_hits = 0;
   long plan_refactorizations = 0;
   long plan_eta_length_max = 0;
+
+  /// Mid-run re-plans that were installed (engine ReplanPolicy only), and
+  /// the wall-clock the async re-plan solves spent off the critical path.
+  long replans = 0;
+  double replan_seconds = 0;
 
   std::vector<RequestRecord> records;  // only if record_requests
 };

@@ -1,0 +1,65 @@
+// Built-in algorithm registrations: the paper's four evaluation algorithms
+// plus the OLIVE ablation variants.  Each entry shows one of the two plugin
+// shapes — an EmbedderFactory for per-request algorithms, a full
+// AlgorithmRunner for SLOTOFF's slot-resolve loop.
+#include <algorithm>
+#include <memory>
+
+#include "core/fullg.hpp"
+#include "core/olive.hpp"
+#include "engine/engine.hpp"
+#include "engine/registry.hpp"
+
+namespace olive::engine::detail {
+
+namespace {
+
+EmbedderFactory olive_factory(std::string name, core::OliveOptions options) {
+  return [name = std::move(name), options](const core::Scenario& sc) {
+    return std::make_unique<core::OliveEmbedder>(sc.substrate, sc.apps,
+                                                 sc.plan, name, options);
+  };
+}
+
+}  // namespace
+
+void register_builtin_algorithms(EmbedderRegistry& r) {
+  r.add_embedder("OLIVE", olive_factory("OLIVE", {}));
+
+  // Ablation variants: OLIVE with individual §III-C mechanisms disabled.
+  {
+    core::OliveOptions opts;
+    opts.enable_borrow = false;
+    r.add_embedder("OLIVE-NoBorrow", olive_factory("OLIVE-NoBorrow", opts));
+  }
+  {
+    core::OliveOptions opts;
+    opts.enable_preempt = false;
+    r.add_embedder("OLIVE-NoPreempt", olive_factory("OLIVE-NoPreempt", opts));
+  }
+  {
+    core::OliveOptions opts;
+    opts.enable_borrow = opts.enable_preempt = opts.enable_greedy = false;
+    r.add_embedder("OLIVE-PlanOnly", olive_factory("OLIVE-PlanOnly", opts));
+  }
+
+  // QUICKG is OLIVE with the empty plan, exactly as the paper defines it.
+  r.add_embedder("QuickG", [](const core::Scenario& sc) {
+    return std::make_unique<core::OliveEmbedder>(sc.substrate, sc.apps,
+                                                 core::Plan::empty(), "QuickG");
+  });
+
+  r.add_embedder("FullG", [](const core::Scenario& sc) {
+    return std::make_unique<core::FullGreedyEmbedder>(sc.substrate, sc.apps);
+  });
+
+  r.add("SlotOff", [](Engine& engine, const core::Scenario& sc) {
+    // The per-slot OFF-VNE instances start from the warm column cache, so a
+    // handful of pricing rounds per slot recovers near-optimality.
+    core::PlanVneConfig plan = sc.config.plan;
+    plan.max_rounds = std::min(plan.max_rounds, 8);
+    return engine.run_slotoff(sc.online, plan);
+  });
+}
+
+}  // namespace olive::engine::detail

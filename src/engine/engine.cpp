@@ -1,0 +1,427 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "core/load.hpp"
+#include "util/error.hpp"
+
+namespace olive::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using core::SimMetrics;
+using core::SimulatorConfig;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Offered-demand series (demand of all requests over their lifetime, had
+/// they all been accepted) — identical for every algorithm by construction.
+std::vector<double> offered_series_from_trace(const workload::Trace& trace,
+                                              int base, int n_slots) {
+  std::vector<double> diff(static_cast<std::size_t>(n_slots) + 1, 0.0);
+  for (const auto& r : trace) {
+    const int a = r.arrival - base;
+    if (a >= n_slots) continue;
+    diff[a] += r.demand;
+    diff[std::min(r.departure() - base, n_slots)] -= r.demand;
+  }
+  std::vector<double> out(n_slots);
+  double acc = 0;
+  for (int t = 0; t < n_slots; ++t) {
+    acc += diff[t];
+    out[t] = acc;
+  }
+  return out;
+}
+
+struct WindowTally {
+  const SimulatorConfig* config;
+  const std::vector<double>* psi;
+  SimMetrics* metrics;
+
+  bool in_window(int slot) const {
+    return slot >= config->measure_from && slot < config->measure_to;
+  }
+
+  void offered(const workload::Request& r, int slot) {
+    if (!in_window(slot)) return;
+    ++metrics->offered;
+    metrics->offered_demand += r.demand;
+    metrics->requests_by_node[r.ingress] += 1;
+  }
+
+  void rejected(const workload::Request& r, int arrival_slot) {
+    if (!in_window(arrival_slot)) return;
+    ++metrics->rejected;
+    metrics->rejected_demand += r.demand;
+    metrics->rejection_cost += (*psi)[r.app] * r.demand * r.duration;
+    metrics->rejected_by_node_app[r.ingress][r.app] += 1;
+  }
+
+  void preempted(const workload::Request& r, int arrival_slot) {
+    if (!in_window(arrival_slot)) return;
+    ++metrics->preempted;
+    metrics->rejected_demand += r.demand;
+    metrics->rejection_cost += (*psi)[r.app] * r.demand * r.duration;
+    metrics->rejected_by_node_app[r.ingress][r.app] += 1;
+  }
+};
+
+std::vector<double> resolve_psi(const net::SubstrateNetwork& s,
+                                const std::vector<net::Application>& apps,
+                                const SimulatorConfig& config) {
+  if (!config.psi_per_app.empty()) {
+    OLIVE_REQUIRE(config.psi_per_app.size() == apps.size(),
+                  "psi_per_app size mismatch");
+    return config.psi_per_app;
+  }
+  std::vector<double> psi(apps.size());
+  for (std::size_t a = 0; a < apps.size(); ++a)
+    psi[a] = core::default_psi(s, apps[a].topology);
+  return psi;
+}
+
+/// Slot horizon shared by both loops: cover every arrival and the whole
+/// measurement window, then stop `drain_slots` past it.
+int resolve_n_slots(const workload::Trace& trace, int base,
+                    const SimulatorConfig& config) {
+  int last_slot = 0;
+  for (const auto& r : trace)
+    last_slot = std::max(last_slot, r.arrival - base);
+  int n_slots = std::max(last_slot + 1, config.measure_to);
+  if (config.drain_slots >= 0)
+    n_slots = std::min(n_slots, config.measure_to + config.drain_slots);
+  return n_slots;
+}
+
+void accumulate_solve(SimMetrics& metrics, const core::PlanSolveInfo& info) {
+  metrics.plan_solves += 1;
+  metrics.plan_simplex_iterations += info.simplex_iterations;
+  metrics.plan_rounds += info.rounds;
+  metrics.plan_columns_generated += info.columns_generated;
+  metrics.plan_objective_sum += info.objective;
+  metrics.plan_warm_start_hits += info.warm_start_hit ? 1 : 0;
+  metrics.plan_refactorizations += info.refactorizations;
+  metrics.plan_eta_length_max =
+      std::max(metrics.plan_eta_length_max, info.eta_length_max);
+}
+
+}  // namespace
+
+Engine::Engine(const net::SubstrateNetwork& substrate,
+               const std::vector<net::Application>& apps, EngineConfig config)
+    : substrate_(substrate), apps_(apps), config_(std::move(config)) {}
+
+void Engine::add_observer(Observer* observer) {
+  OLIVE_REQUIRE(observer != nullptr, "observer must not be null");
+  observers_.push_back(observer);
+}
+
+SimMetrics Engine::run(core::OnlineEmbedder& algo,
+                       const workload::Trace& trace) {
+  const SimulatorConfig& sim = config_.sim;
+  SimMetrics metrics;
+  metrics.algorithm = algo.name();
+  metrics.rejected_by_node_app.assign(
+      substrate_.num_nodes(), std::vector<double>(apps_.size(), 0.0));
+  metrics.requests_by_node.assign(substrate_.num_nodes(), 0.0);
+  if (trace.empty()) return metrics;
+
+  const std::vector<double> psi = resolve_psi(substrate_, apps_, sim);
+  WindowTally tally{&sim, &psi, &metrics};
+
+  const int base = trace.front().arrival;
+  const int n_slots = resolve_n_slots(trace, base, sim);
+
+  metrics.offered_series = offered_series_from_trace(trace, base, n_slots);
+  std::vector<double> alloc_diff(static_cast<std::size_t>(n_slots) + 1, 0.0);
+
+  struct Info {
+    const workload::Request* req = nullptr;
+    bool accepted = false;
+    double unit_cost = 0;
+  };
+  std::unordered_map<int, Info> info;
+  info.reserve(trace.size());
+  // id -> index into metrics.records, so preemption bookkeeping is O(1)
+  // instead of a linear rescan of every record per victim.
+  std::unordered_map<int, std::size_t> record_index;
+  if (sim.record_requests) record_index.reserve(trace.size());
+
+  // Departure calendar for accepted requests.
+  std::vector<std::vector<const workload::Request*>> departures(
+      static_cast<std::size_t>(n_slots) + 1);
+
+  ReplanPolicy replan(substrate_, apps_, config_.replan);
+
+  algo.reset();
+  double active_cost = 0;  // Σ over active accepted of d·unit_cost
+  std::size_t next = 0;
+
+  for (int t = 0; t < n_slots; ++t) {
+    for (Observer* o : observers_) o->on_slot_begin(t);
+
+    // 0. Re-plan lifecycle.  The install slot is fixed by the policy, so
+    // the swap happens at the same slot whether the async solve finished
+    // long ago or the wait below has to block for it — bit-identical
+    // results at every thread count.  The swap precedes this slot's
+    // releases and arrivals: slot t is the first slot served by the new
+    // plan.
+    if (replan.pending_install_slot() == t) {
+      const auto wait_start = Clock::now();
+      ReplanPolicy::Result res = replan.collect();
+      const bool accepted = algo.install_plan(std::move(res.plan));
+      metrics.algo_seconds += seconds_since(wait_start);
+      res.event.installed = accepted;
+      if (accepted) {
+        metrics.replans += 1;
+        metrics.replan_seconds += res.event.solve_seconds;
+        accumulate_solve(metrics, res.event.info);
+      } else {
+        replan.disable();  // the embedder has no plan to swap
+      }
+      for (Observer* o : observers_) o->on_replan(res.event);
+    }
+    // Launch only while the install slot still falls inside this run.
+    if (replan.wants_launch(t) &&
+        t + config_.replan.install_delay < n_slots) {
+      const auto launch_start = Clock::now();
+      replan.launch(trace, base, t);
+      metrics.algo_seconds += seconds_since(launch_start);
+    }
+
+    // 1. Departures at slot t.
+    const auto dep_start = Clock::now();
+    for (const workload::Request* r : departures[t]) {
+      if (!info[r->id].accepted) continue;  // preempted meanwhile
+      algo.depart(*r);
+      active_cost -= r->demand * info[r->id].unit_cost;
+      info[r->id].accepted = false;
+    }
+    metrics.algo_seconds += seconds_since(dep_start);
+
+    // 2. Arrivals at slot t, in trace order.  (Arrivals beyond n_slots are
+    // never processed — they cannot affect window metrics.)
+    while (next < trace.size() && trace[next].arrival - base == t) {
+      const workload::Request& r = trace[next++];
+      tally.offered(r, t);
+
+      const auto start = Clock::now();
+      const core::EmbedOutcome outcome = algo.embed(r);
+      metrics.algo_seconds += seconds_since(start);
+
+      if (sim.record_requests) {
+        record_index[r.id] = metrics.records.size();
+        metrics.records.push_back({r.id, t, r.duration, r.app, r.ingress,
+                                   r.demand, outcome.kind, -1});
+      }
+      for (Observer* o : observers_) o->on_outcome(r, outcome, t);
+
+      if (!outcome.accepted()) {
+        tally.rejected(r, t);
+        info[r.id] = Info{&r, false, 0.0};
+        continue;
+      }
+      info[r.id] = Info{&r, true, outcome.unit_cost};
+      active_cost += r.demand * outcome.unit_cost;
+      const int dep = std::min(t + r.duration, n_slots);
+      alloc_diff[t] += r.demand;
+      alloc_diff[dep] -= r.demand;
+      if (t + r.duration <= n_slots)
+        departures[t + r.duration].push_back(&r);
+
+      for (const int victim_id : outcome.preempted_ids) {
+        auto& vi = info.at(victim_id);
+        OLIVE_ASSERT(vi.accepted);
+        vi.accepted = false;
+        const workload::Request& vr = *vi.req;
+        active_cost -= vr.demand * vi.unit_cost;
+        const int varr = vr.arrival - base;
+        const int vdep = std::min(varr + vr.duration, n_slots);
+        alloc_diff[t] -= vr.demand;  // stops consuming now...
+        alloc_diff[vdep] += vr.demand;  // ...instead of at its departure
+        tally.preempted(vr, varr);
+        if (sim.record_requests) {
+          const auto it = record_index.find(victim_id);
+          if (it != record_index.end())
+            metrics.records[it->second].preempted_at = t;
+        }
+      }
+    }
+
+    // 3. Accrue this slot's resource cost inside the window.
+    if (t >= sim.measure_from && t < sim.measure_to)
+      metrics.resource_cost += active_cost;
+  }
+
+  // `accepted` counted arrivals anywhere; restrict to the window.
+  metrics.accepted = metrics.offered - metrics.rejected - metrics.preempted;
+
+  metrics.allocated_series.resize(n_slots);
+  double acc = 0;
+  for (int t = 0; t < n_slots; ++t) {
+    acc += alloc_diff[t];
+    metrics.allocated_series[t] = acc;
+  }
+  return metrics;
+}
+
+SimMetrics Engine::run_slotoff(const workload::Trace& trace,
+                               const core::PlanVneConfig& plan_config,
+                               bool warm_start) {
+  const SimulatorConfig& sim = config_.sim;
+  SimMetrics metrics;
+  metrics.algorithm = "SlotOff";
+  metrics.rejected_by_node_app.assign(
+      substrate_.num_nodes(), std::vector<double>(apps_.size(), 0.0));
+  metrics.requests_by_node.assign(substrate_.num_nodes(), 0.0);
+  if (trace.empty()) return metrics;
+
+  const std::vector<double> psi = resolve_psi(substrate_, apps_, sim);
+  WindowTally tally{&sim, &psi, &metrics};
+
+  const int base = trace.front().arrival;
+  const int n_slots = resolve_n_slots(trace, base, sim);
+  metrics.offered_series = offered_series_from_trace(trace, base, n_slots);
+  metrics.allocated_series.assign(n_slots, 0.0);
+
+  // (app, ingress) classes maintained incrementally: membership changes only
+  // on arrival, departure, and drop, instead of re-hashing every active
+  // request into fresh class_of/by_class structures each slot.  Members stay
+  // in arrival order, so per-class demand sums — and, after ordering the
+  // solver input by each class's oldest alive member below — the whole
+  // per-slot OFF-VNE instance match the former per-slot rebuild exactly.
+  struct SlotClass {
+    int app = -1;
+    net::NodeId ingress = -1;
+    std::vector<const workload::Request*> members;
+  };
+  std::unordered_map<long long, int> class_of;  // key -> index into classes
+  std::vector<SlotClass> classes;
+  const auto drop_from_class = [&](const workload::Request* r) {
+    auto& members =
+        classes[class_of.at(core::class_key(r->app, r->ingress))].members;
+    return static_cast<long>(std::erase(members, r));
+  };
+  // Departure calendar; entries for already-dropped requests are no-ops.
+  std::vector<std::vector<const workload::Request*>> departures(
+      static_cast<std::size_t>(n_slots) + 1);
+  long n_active = 0;
+
+  core::PlanColumnCache cache;
+  // Basis continuity: each slot's master starts from the previous slot's
+  // optimal basis (surviving classes/columns matched by key inside
+  // solve_plan_vne; arrivals and departures fall back per row).
+  core::PlanWarmStart warm;
+  core::PlanWarmStart* warm_ptr = warm_start ? &warm : nullptr;
+  std::size_t next = 0;
+
+  for (int t = 0; t < n_slots; ++t) {
+    for (Observer* o : observers_) o->on_slot_begin(t);
+
+    // Departures, then this slot's arrivals.
+    for (const workload::Request* r : departures[t])
+      n_active -= drop_from_class(r);
+    while (next < trace.size() && trace[next].arrival - base == t) {
+      const workload::Request& r = trace[next++];
+      tally.offered(r, t);
+      auto [it, inserted] = class_of.try_emplace(
+          core::class_key(r.app, r.ingress), static_cast<int>(classes.size()));
+      if (inserted) classes.push_back({r.app, r.ingress, {}});
+      classes[it->second].members.push_back(&r);
+      const int dep = r.departure() - base;
+      if (dep <= n_slots) departures[dep].push_back(&r);
+      ++n_active;
+    }
+    if (n_active == 0) continue;
+
+    const auto start = Clock::now();
+
+    // Aggregate the slot's actual demand per class and solve OFF-VNE.
+    // Classes are ordered by their oldest alive member (trace position),
+    // which is the first-encounter order the per-slot rebuild produced.
+    std::vector<const SlotClass*> alive;
+    for (const auto& sc : classes)
+      if (!sc.members.empty()) alive.push_back(&sc);
+    std::sort(alive.begin(), alive.end(),
+              [](const SlotClass* a, const SlotClass* b) {
+                return a->members.front() < b->members.front();
+              });
+    std::vector<core::AggregateRequest> aggs;
+    std::vector<const std::vector<const workload::Request*>*> members_of;
+    for (const SlotClass* sc : alive) {
+      core::AggregateRequest agg;
+      agg.app = sc->app;
+      agg.ingress = sc->ingress;
+      for (const workload::Request* r : sc->members) {
+        agg.demand += r->demand;
+        agg.request_count += 1;
+      }
+      aggs.push_back(agg);
+      members_of.push_back(&sc->members);
+    }
+    core::PlanSolveInfo solve_info;
+    const core::Plan plan = core::solve_plan_vne(
+        substrate_, apps_, aggs, plan_config, &solve_info, &cache, warm_ptr);
+    accumulate_solve(metrics, solve_info);
+
+    // Round the splittable plan onto individual requests: largest first,
+    // first fitting column (capacity f_k·D_c and substrate feasibility).
+    core::LoadTracker load(substrate_);
+    double slot_cost = 0, slot_alloc = 0;
+    std::vector<const workload::Request*> dropped;
+    for (int c = 0; c < plan.num_classes(); ++c) {
+      auto reqs = *members_of[c];
+      std::sort(reqs.begin(), reqs.end(),
+                [](const auto* a, const auto* b) {
+                  return a->demand > b->demand;
+                });
+      std::vector<double> col_cap;
+      for (const auto& col : plan.cls(c).columns)
+        col_cap.push_back(col.planned_demand);
+      for (const workload::Request* r : reqs) {
+        bool placed = false;
+        for (std::size_t k = 0; k < col_cap.size(); ++k) {
+          const auto& col = plan.cls(c).columns[k];
+          if (col_cap[k] < r->demand - 1e-9) continue;
+          if (!load.fits(col.usage, r->demand)) continue;
+          load.apply(col.usage, r->demand);
+          col_cap[k] -= r->demand;
+          slot_cost += r->demand * col.unit_cost;
+          slot_alloc += r->demand;
+          placed = true;
+          break;
+        }
+        if (!placed) dropped.push_back(r);
+      }
+    }
+
+    metrics.algo_seconds += seconds_since(start);
+
+    // Dropped requests are rejected for good (never reconsidered).
+    for (const workload::Request* r : dropped) {
+      const int arr = r->arrival - base;
+      const bool is_new = arr == t;
+      if (is_new) {
+        tally.rejected(*r, arr);
+      } else {
+        tally.preempted(*r, arr);
+      }
+      n_active -= drop_from_class(r);
+    }
+
+    metrics.allocated_series[t] = slot_alloc;
+    if (t >= sim.measure_from && t < sim.measure_to)
+      metrics.resource_cost += slot_cost;
+  }
+
+  metrics.accepted = metrics.offered - metrics.rejected - metrics.preempted;
+  return metrics;
+}
+
+}  // namespace olive::engine

@@ -1,0 +1,99 @@
+// The unified runtime: one slot-driven event loop for every algorithm.
+//
+// Engine owns the discrete-time simulation the paper's §IV experiments run
+// on — per slot: (optional) plan hot-swap at the deterministic re-plan
+// boundary, releases of departing requests, this slot's arrivals in trace
+// order, then metric accrual — and exposes it twice:
+//
+//  * run(algo, trace)        — the ON-VNE loop for per-request embedders
+//                              (OLIVE / QUICKG / FULLG / any plugin);
+//  * run_slotoff(trace, ...) — the SLOTOFF baseline's per-slot OFF-VNE
+//                              re-solve loop.
+//
+// Observers hook the loop without perturbing it (`on_slot_begin`,
+// `on_outcome`, `on_replan`); a ReplanPolicy (engine/replan.hpp) makes the
+// run re-plan mid-flight.  The legacy free functions `core::run_online` /
+// `core::run_slotoff` and the string-dispatch `core::run_algorithm` are thin
+// wrappers over this class and the EmbedderRegistry (engine/registry.hpp).
+//
+// Determinism: with the same config, trace, and algorithm, a run is
+// bit-identical at every `OLIVE_THREADS` value — re-plan solves are
+// installed at policy-fixed slots (never when the solver happens to finish)
+// and the PLAN-VNE solver itself is bit-identical across thread counts
+// (docs/parallelism.md).
+#pragma once
+
+#include <vector>
+
+#include "core/algorithm.hpp"
+#include "core/plan_solver.hpp"
+#include "core/simulator.hpp"
+#include "engine/replan.hpp"
+#include "net/substrate.hpp"
+#include "net/vnet.hpp"
+#include "workload/request.hpp"
+
+namespace olive::engine {
+
+/// Event-loop hooks.  Default implementations do nothing; observers must
+/// not mutate engine or embedder state (they see it, they do not steer it).
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  /// Start of slot `slot`, before the re-plan swap, releases and arrivals.
+  virtual void on_slot_begin(int slot) { (void)slot; }
+
+  /// One request was decided (request-driven runs only).
+  virtual void on_outcome(const workload::Request& r,
+                          const core::EmbedOutcome& outcome, int slot) {
+    (void)r;
+    (void)outcome;
+    (void)slot;
+  }
+
+  /// A re-plan reached its install slot (fires whether or not the embedder
+  /// accepted the plan — see ReplanEvent::installed).
+  virtual void on_replan(const ReplanEvent& event) { (void)event; }
+};
+
+struct EngineConfig {
+  core::SimulatorConfig sim;
+  /// Mid-run re-planning; `replan.period == 0` (the default) disables it
+  /// and makes Engine::run bit-identical to the pre-engine run_online.
+  ReplanConfig replan;
+};
+
+class Engine {
+ public:
+  Engine(const net::SubstrateNetwork& substrate,
+         const std::vector<net::Application>& apps, EngineConfig config = {});
+
+  /// Registers an observer (not owned; must outlive the runs).
+  void add_observer(Observer* observer);
+
+  const EngineConfig& config() const noexcept { return config_; }
+
+  /// Runs a per-request online embedder over the trace (slots re-based so
+  /// the first arrival is slot 0).  With re-planning configured, trailing
+  /// demand windows are re-solved asynchronously and hot-swapped via
+  /// OnlineEmbedder::install_plan at each policy-fixed install slot.
+  core::SimMetrics run(core::OnlineEmbedder& algo,
+                       const workload::Trace& trace);
+
+  /// Runs the SLOTOFF baseline: one OFF-VNE master solve per slot on the
+  /// slot's actual active demand.  `warm_start` carries each slot's optimal
+  /// basis into the next solve.  (ReplanPolicy does not apply — SLOTOFF
+  /// already re-plans every slot.)
+  core::SimMetrics run_slotoff(const workload::Trace& trace,
+                               const core::PlanVneConfig& plan,
+                               bool warm_start = true);
+
+ private:
+  const net::SubstrateNetwork& substrate_;
+  const std::vector<net::Application>& apps_;
+  EngineConfig config_;
+  std::vector<Observer*> observers_;
+};
+
+}  // namespace olive::engine

@@ -1,0 +1,75 @@
+#include "engine/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/engine.hpp"
+#include "util/error.hpp"
+
+namespace olive::engine {
+
+EmbedderRegistry& EmbedderRegistry::instance() {
+  // Leaked singleton: registered runners stay callable from worker threads
+  // during process teardown.
+  static EmbedderRegistry* registry = [] {
+    auto* r = new EmbedderRegistry;
+    detail::register_builtin_algorithms(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+bool EmbedderRegistry::add(std::string name, AlgorithmRunner runner) {
+  OLIVE_REQUIRE(!name.empty(), "algorithm name must be non-empty");
+  OLIVE_REQUIRE(runner != nullptr, "algorithm runner must be callable");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  runners_[std::move(name)] = std::move(runner);
+  return true;
+}
+
+bool EmbedderRegistry::add_embedder(std::string name, EmbedderFactory factory) {
+  OLIVE_REQUIRE(factory != nullptr, "embedder factory must be callable");
+  return add(std::move(name),
+             [factory = std::move(factory)](Engine& engine,
+                                            const core::Scenario& scenario) {
+               const auto algo = factory(scenario);
+               OLIVE_REQUIRE(algo != nullptr,
+                             "embedder factory returned null");
+               return engine.run(*algo, scenario.online);
+             });
+}
+
+bool EmbedderRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return runners_.contains(name);
+}
+
+std::vector<std::string> EmbedderRegistry::names() const {
+  std::vector<std::string> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(runners_.size());
+    for (const auto& [name, runner] : runners_) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+core::SimMetrics EmbedderRegistry::run(const std::string& name, Engine& engine,
+                                       const core::Scenario& scenario) const {
+  AlgorithmRunner runner;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = runners_.find(name);
+    if (it != runners_.end()) runner = it->second;
+  }
+  if (!runner) {
+    std::string known;
+    for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
+    throw InvalidArgument("unknown algorithm: " + name + " (known: " + known +
+                          ")");
+  }
+  return runner(engine, scenario);
+}
+
+}  // namespace olive::engine

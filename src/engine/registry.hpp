@@ -1,0 +1,92 @@
+// Algorithm registry: name -> runner, replacing the old hard-coded string
+// dispatch in core::run_algorithm.
+//
+// Two registration levels:
+//
+//  * add_embedder(name, factory) — for per-request algorithms: the factory
+//    builds an OnlineEmbedder from a scenario repetition and the registry
+//    wraps it in Engine::run over the scenario's online trace.  This is all
+//    a typical plugin needs.
+//  * add(name, runner) — full control: the runner receives the Engine and
+//    the Scenario and may drive any loop (SLOTOFF registers itself this
+//    way).
+//
+// The built-in algorithms (OLIVE + ablation variants, QuickG, FullG,
+// SlotOff) are registered on first use of instance(), so they are always
+// present — no static-initializer linker tricks.  A new algorithm is a
+// one-file plugin: define the embedder, register it with
+// OLIVE_REGISTER_ALGORITHM at namespace scope, and every bench/example
+// that dispatches by name picks it up.  (Caveat: when that file lands in a
+// static library and no other symbol in it is referenced, linkers may drop
+// the whole object — link plugins as object files or reference a symbol.)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace olive::engine {
+
+class Engine;
+
+/// Builds a per-request embedder for one built scenario repetition.
+using EmbedderFactory =
+    std::function<std::unique_ptr<core::OnlineEmbedder>(const core::Scenario&)>;
+
+/// Full-control runner: drives any loop on the engine.
+using AlgorithmRunner =
+    std::function<core::SimMetrics(Engine&, const core::Scenario&)>;
+
+class EmbedderRegistry {
+ public:
+  /// The process-wide registry, with the built-ins already registered.
+  static EmbedderRegistry& instance();
+
+  /// Registers `runner` under `name` (replacing any previous entry).
+  /// Returns true so it can initialize a static registrar.
+  bool add(std::string name, AlgorithmRunner runner);
+
+  /// Registers a per-request embedder factory; the stored runner executes
+  /// Engine::run(*factory(scenario), scenario.online).
+  bool add_embedder(std::string name, EmbedderFactory factory);
+
+  bool contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Creates and runs algorithm `name` on `scenario` under `engine`.
+  /// Throws InvalidArgument for unknown names.
+  core::SimMetrics run(const std::string& name, Engine& engine,
+                       const core::Scenario& scenario) const;
+
+ private:
+  EmbedderRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, AlgorithmRunner> runners_;
+};
+
+namespace detail {
+/// Defined in engine/algorithms.cpp; called once by instance().
+void register_builtin_algorithms(EmbedderRegistry& registry);
+}  // namespace detail
+
+#define OLIVE_ENGINE_CONCAT_INNER(a, b) a##b
+#define OLIVE_ENGINE_CONCAT(a, b) OLIVE_ENGINE_CONCAT_INNER(a, b)
+/// Registers an AlgorithmRunner (or, with OLIVE_REGISTER_EMBEDDER, an
+/// EmbedderFactory) from namespace scope in a plugin file.
+#define OLIVE_REGISTER_ALGORITHM(name, ...)                             \
+  static const bool OLIVE_ENGINE_CONCAT(olive_algorithm_, __COUNTER__) = \
+      ::olive::engine::EmbedderRegistry::instance().add(name, __VA_ARGS__)
+#define OLIVE_REGISTER_EMBEDDER(name, ...)                              \
+  static const bool OLIVE_ENGINE_CONCAT(olive_embedder_, __COUNTER__) =  \
+      ::olive::engine::EmbedderRegistry::instance().add_embedder(name,   \
+                                                                 __VA_ARGS__)
+
+}  // namespace olive::engine

@@ -1,0 +1,107 @@
+#include "engine/replan.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace olive::engine {
+
+ReplanPolicy::ReplanPolicy(const net::SubstrateNetwork& substrate,
+                           const std::vector<net::Application>& apps,
+                           ReplanConfig config)
+    : substrate_(substrate), apps_(apps), config_(std::move(config)) {
+  if (config_.period > 0) {
+    OLIVE_REQUIRE(config_.install_delay >= 1 &&
+                      config_.install_delay < config_.period,
+                  "replan install_delay must stay in [1, period)");
+    OLIVE_REQUIRE(config_.window >= 0, "replan window must be >= 0");
+  }
+}
+
+ReplanPolicy::~ReplanPolicy() {
+  // A solve launched near the end of the run may never reach its install
+  // slot; join it so the captured references stay valid until it finishes.
+  if (pending_) pending_->result.wait();
+}
+
+bool ReplanPolicy::wants_launch(int slot) const noexcept {
+  return enabled() && !pending_ && slot > 0 && slot % config_.period == 0;
+}
+
+void ReplanPolicy::launch(const workload::Trace& trace, int base, int slot) {
+  OLIVE_ASSERT(!pending_);
+  const int window = config_.window > 0 ? config_.window : config_.period;
+  const int from = std::max(0, slot - window);
+
+  // Clip every request whose activity overlaps [from, slot) to the window
+  // and re-base it to window coordinates — exactly the per-slot demand the
+  // aggregation percentile estimator expects.
+  workload::Trace clipped;
+  for (const auto& r : trace) {
+    const int arrival = r.arrival - base;
+    // The trace is arrival-sorted (the engine's arrival loop relies on
+    // that too), so the first future request ends the scan.
+    if (arrival >= slot) break;
+    const int departure = arrival + r.duration;
+    if (departure <= from) continue;
+    workload::Request c = r;
+    c.arrival = std::max(arrival, from) - from;
+    c.duration = std::min(departure, slot) - std::max(arrival, from);
+    clipped.push_back(c);
+  }
+  if (clipped.empty()) return;  // nothing to plan for this window
+
+  core::AggregationConfig acfg = config_.aggregation;
+  acfg.horizon = slot - from;
+  const int sequence = sequence_++;
+  Rng rng = Rng(config_.seed)
+                .fork(stable_hash("replan"))
+                .fork(static_cast<std::uint64_t>(sequence) + 1);
+
+  ReplanEvent event;
+  event.sequence = sequence;
+  event.launch_slot = slot;
+  event.install_slot = slot + config_.install_delay;
+
+  // The async solve: aggregate the window, then PLAN-VNE with the column
+  // cache and basis carried from the previous re-plan.  `this` outlives the
+  // future (the destructor joins), and consecutive solves never overlap
+  // (install_delay < period), so cache_/warm_ are touched by one task at a
+  // time.
+  auto task = [this, clipped = std::move(clipped), acfg, rng,
+               event]() mutable -> Result {
+    const auto start = std::chrono::steady_clock::now();
+    const auto aggregates = core::aggregate_history(
+        clipped, static_cast<int>(apps_.size()), substrate_.num_nodes(), acfg,
+        rng);
+    Result out;
+    out.event = event;
+    out.plan = core::solve_plan_vne(
+        substrate_, apps_, aggregates, config_.plan, &out.event.info, &cache_,
+        config_.warm_start ? &warm_ : nullptr);
+    out.event.classes = out.plan.num_classes();
+    out.event.solve_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return out;
+  };
+  pending_ = Pending{event.install_slot,
+                     ThreadPool::global().submit(std::move(task))};
+}
+
+int ReplanPolicy::pending_install_slot() const noexcept {
+  return pending_ ? pending_->install_slot : -1;
+}
+
+ReplanPolicy::Result ReplanPolicy::collect() {
+  OLIVE_ASSERT(pending_);
+  Result out = pending_->result.get();
+  pending_.reset();
+  return out;
+}
+
+}  // namespace olive::engine

@@ -1,0 +1,124 @@
+// Mid-run re-planning (the paper's §III-C future-work hook: re-plan at
+// window boundaries for time-dependent expected demand).
+//
+// A ReplanPolicy fires at fixed slot boundaries (every `period` slots): it
+// re-aggregates the trailing `window` slots of observed demand with the same
+// bootstrapped-percentile estimator the offline plan uses, solves PLAN-VNE
+// for the result *asynchronously* on the shared ThreadPool (carrying the
+// column cache and the PlanWarmStart basis across consecutive re-plans, the
+// PR-3 machinery), and hands the finished plan back to the engine at a
+// deterministic install slot `launch + install_delay`.
+//
+// Determinism contract (same as parallel pricing, docs/parallelism.md): the
+// install slot is fixed by the policy, never by solver latency — if the
+// async solve has not finished by the install slot, the engine *blocks* on
+// it.  Solver inputs are a pure function of the trace prefix, so every
+// thread count produces bit-identical runs; OLIVE_THREADS only moves how
+// much of the solve overlaps the embedding loop.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "core/plan.hpp"
+#include "core/plan_solver.hpp"
+#include "net/substrate.hpp"
+#include "net/vnet.hpp"
+#include "workload/request.hpp"
+
+namespace olive::engine {
+
+struct ReplanConfig {
+  /// Re-plan every `period` slots (launches at slots period, 2·period, …).
+  /// 0 disables mid-run re-planning entirely.
+  int period = 0;
+  /// Trailing demand window re-aggregated at each launch, in slots.
+  /// 0 selects `period` (each re-plan sees exactly the demand since the
+  /// previous launch).
+  int window = 0;
+  /// Slots between a launch and its deterministic install: the new plan is
+  /// hot-swapped at the *beginning* of slot `launch + install_delay`,
+  /// regardless of how long the solve actually took.  Must stay in
+  /// [1, period) so at most one solve is in flight.
+  int install_delay = 1;
+  /// Percentile estimator over the trailing window (same P̂α bootstrap as
+  /// the offline aggregation; `horizon` is overwritten with the window).
+  core::AggregationConfig aggregation;
+  /// PLAN-VNE solver settings for the re-plan solves.
+  core::PlanVneConfig plan;
+  /// Carry the column cache and the optimal-basis snapshot across
+  /// consecutive re-plans (off forces every re-plan to a cold solve; the
+  /// solved plans are identical either way).
+  bool warm_start = true;
+  /// Seed of the bootstrap streams (forked per re-plan sequence number).
+  std::uint64_t seed = 1;
+};
+
+/// What one re-plan did — the `on_replan` observer payload.
+struct ReplanEvent {
+  int sequence = 0;      ///< 0-based re-plan index within the run
+  int launch_slot = 0;   ///< boundary the solve was launched at
+  int install_slot = 0;  ///< deterministic swap slot (launch + delay)
+  bool installed = false;  ///< false iff the embedder refused the plan
+  int classes = 0;         ///< classes in the new plan
+  double solve_seconds = 0;  ///< wall-clock of the async solve itself
+  core::PlanSolveInfo info;  ///< master-LP work of the solve
+};
+
+/// Owns the launch schedule, the async solve, and the cross-replan
+/// cache/warm-start state.  One instance lives inside each Engine run.
+class ReplanPolicy {
+ public:
+  ReplanPolicy(const net::SubstrateNetwork& substrate,
+               const std::vector<net::Application>& apps, ReplanConfig config);
+  ~ReplanPolicy();  // joins any still-flying solve
+
+  ReplanPolicy(const ReplanPolicy&) = delete;
+  ReplanPolicy& operator=(const ReplanPolicy&) = delete;
+
+  bool enabled() const noexcept { return config_.period > 0 && !disabled_; }
+
+  /// True when a new solve should launch at the beginning of `slot`.
+  bool wants_launch(int slot) const noexcept;
+
+  /// Launches the async PLAN-VNE solve over the trailing window of `trace`
+  /// (slots are `arrival - base`; only arrivals strictly before `slot` are
+  /// visible — the policy is causal).  No-op if the window holds no demand.
+  void launch(const workload::Trace& trace, int base, int slot);
+
+  /// Install slot of the in-flight solve, or -1 when none is pending.
+  int pending_install_slot() const noexcept;
+
+  struct Result {
+    core::Plan plan;
+    ReplanEvent event;
+  };
+
+  /// Blocks until the pending solve finishes and returns it.  Call exactly
+  /// at its install slot.
+  Result collect();
+
+  /// Stops all future launches (the engine calls this when the embedder
+  /// refuses `install_plan`).
+  void disable() noexcept { disabled_ = true; }
+
+ private:
+  struct Pending {
+    int install_slot = 0;
+    std::future<Result> result;
+  };
+
+  const net::SubstrateNetwork& substrate_;
+  const std::vector<net::Application>& apps_;
+  ReplanConfig config_;
+  core::PlanColumnCache cache_;
+  core::PlanWarmStart warm_;
+  std::optional<Pending> pending_;
+  int sequence_ = 0;
+  bool disabled_ = false;
+};
+
+}  // namespace olive::engine

@@ -23,6 +23,10 @@ class Table {
   void print_csv(std::ostream& os) const;
 
   std::size_t rows() const noexcept { return rows_.size(); }
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& row_data() const noexcept {
+    return rows_;
+  }
 
  private:
   std::vector<std::string> header_;

@@ -40,6 +40,16 @@ Trace TraceGenerator::generate(Rng& rng) const {
       config_.lambda_per_node * substrate_.num_nodes();
   bool high_state = state_rng.chance(0.5);
 
+  // Demand-drift ramp over the test period (identity while drift == 0 or
+  // inside the history).
+  const int test_span =
+      std::max(1, config_.horizon - 1 - config_.plan_slots);
+  const auto drift_factor = [&](int t) {
+    if (config_.drift == 0.0 || t < config_.plan_slots) return 1.0;
+    return 1.0 + config_.drift * static_cast<double>(t - config_.plan_slots) /
+                     static_cast<double>(test_span);
+  };
+
   Trace trace;
   int next_id = 0;
   for (int t = 0; t < config_.horizon; ++t) {
@@ -57,7 +67,8 @@ Trace TraceGenerator::generate(Rng& rng) const {
       r.arrival = t;
       r.ingress = ranked[zipf(pick_rng)];
       r.app = static_cast<int>(pick_rng.below(apps_.size()));
-      r.demand = sample_truncated_normal(size_rng, config_.demand_mean,
+      r.demand = drift_factor(t) *
+                 sample_truncated_normal(size_rng, config_.demand_mean,
                                          config_.demand_std, 0.1);
       r.duration = std::max(
           1, static_cast<int>(

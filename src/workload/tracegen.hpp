@@ -39,6 +39,15 @@ struct TraceConfig {
   double duration_mean = 10.0;    ///< exponential, in slots
   double zipf_alpha = 1.0;        ///< edge-node popularity
   MmppParams mmpp;
+  /// Linear demand drift across the test period: a request arriving at slot
+  /// t >= plan_slots has its sampled demand scaled by
+  ///   1 + drift · (t - plan_slots) / (horizon - 1 - plan_slots),
+  /// reaching `1 + drift` at the last slot.  History demand (t < plan_slots)
+  /// is never scaled, so plans built from R_HIST become progressively stale
+  /// — the workload mid-run re-planning targets.  0 (the default) leaves
+  /// the trace bit-identical to the undrifted generator (the scaling
+  /// consumes no RNG draws).
+  double drift = 0.0;
 };
 
 class TraceGenerator {

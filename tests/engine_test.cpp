@@ -1,0 +1,285 @@
+// The engine redesign's contracts: Engine-driven runs are bit-identical to
+// the legacy run_online/run_slotoff wrappers when re-planning is off, the
+// EmbedderRegistry resolves the built-ins (and one-file plugins) by name,
+// observers see every slot and outcome without perturbing the run, and on
+// the drifting-utilization scenario the asynchronous ReplanPolicy beats the
+// static plan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/olive.hpp"
+#include "core/scenario.hpp"
+#include "core/simulator.hpp"
+#include "engine/engine.hpp"
+#include "engine/registry.hpp"
+
+namespace olive::engine {
+namespace {
+
+core::ScenarioConfig small_config(std::uint64_t seed = 7) {
+  core::ScenarioConfig cfg;
+  cfg.topology = "Iris";
+  cfg.utilization = 1.0;
+  cfg.seed = seed;
+  cfg.trace.horizon = 400;
+  cfg.trace.plan_slots = 300;
+  cfg.sim.measure_from = 10;
+  cfg.sim.measure_to = 60;
+  return cfg;
+}
+
+/// Bitwise equality over every deterministic SimMetrics field (wall-clock
+/// fields are excluded: algo_seconds/replan_seconds measure elapsed time).
+void expect_metrics_identical(const core::SimMetrics& a,
+                              const core::SimMetrics& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.preempted, b.preempted);
+  EXPECT_EQ(a.offered_demand, b.offered_demand);
+  EXPECT_EQ(a.rejected_demand, b.rejected_demand);
+  EXPECT_EQ(a.resource_cost, b.resource_cost);
+  EXPECT_EQ(a.rejection_cost, b.rejection_cost);
+  EXPECT_EQ(a.offered_series, b.offered_series);
+  EXPECT_EQ(a.allocated_series, b.allocated_series);
+  EXPECT_EQ(a.rejected_by_node_app, b.rejected_by_node_app);
+  EXPECT_EQ(a.requests_by_node, b.requests_by_node);
+  EXPECT_EQ(a.plan_solves, b.plan_solves);
+  EXPECT_EQ(a.plan_simplex_iterations, b.plan_simplex_iterations);
+  EXPECT_EQ(a.plan_rounds, b.plan_rounds);
+  EXPECT_EQ(a.plan_columns_generated, b.plan_columns_generated);
+  EXPECT_EQ(a.plan_objective_sum, b.plan_objective_sum);
+  EXPECT_EQ(a.plan_warm_start_hits, b.plan_warm_start_hits);
+  EXPECT_EQ(a.plan_refactorizations, b.plan_refactorizations);
+  EXPECT_EQ(a.plan_eta_length_max, b.plan_eta_length_max);
+  EXPECT_EQ(a.replans, b.replans);
+}
+
+TEST(EngineEquivalence, RequestDrivenRunsMatchLegacyRunOnline) {
+  const core::Scenario sc = core::build_scenario(small_config());
+  // OLIVE (plan-driven) and QuickG (empty plan) both walk the identical
+  // event loop; with ReplanPolicy off the engine must be bit-identical to
+  // the legacy driver.
+  for (const bool quickg : {false, true}) {
+    core::OliveEmbedder legacy_algo(sc.substrate, sc.apps,
+                                    quickg ? core::Plan::empty() : sc.plan,
+                                    quickg ? "QuickG" : "OLIVE");
+    const core::SimMetrics legacy = core::run_online(
+        sc.substrate, sc.apps, sc.online, legacy_algo, sc.config.sim);
+
+    core::OliveEmbedder engine_algo(sc.substrate, sc.apps,
+                                    quickg ? core::Plan::empty() : sc.plan,
+                                    quickg ? "QuickG" : "OLIVE");
+    Engine engine(sc.substrate, sc.apps, EngineConfig{sc.config.sim, {}});
+    const core::SimMetrics direct = engine.run(engine_algo, sc.online);
+    expect_metrics_identical(legacy, direct);
+  }
+}
+
+TEST(EngineEquivalence, SlotOffRunMatchesLegacyRunSlotOff) {
+  const core::Scenario sc = core::build_scenario(small_config());
+  workload::Trace window;
+  const int base = sc.online.empty() ? 0 : sc.online.front().arrival;
+  for (const auto& r : sc.online)
+    if (r.arrival - base < 12) window.push_back(r);
+  ASSERT_FALSE(window.empty());
+
+  core::SlotOffConfig so;
+  so.sim = sc.config.sim;
+  so.sim.measure_from = 0;
+  so.sim.measure_to = 12;
+  so.sim.drain_slots = 0;
+  so.plan = sc.config.plan;
+  so.plan.max_rounds = 8;
+  const core::SimMetrics legacy =
+      core::run_slotoff(sc.substrate, sc.apps, window, so);
+  ASSERT_GT(legacy.plan_solves, 0);
+
+  Engine engine(sc.substrate, sc.apps, EngineConfig{so.sim, {}});
+  const core::SimMetrics direct =
+      engine.run_slotoff(window, so.plan, so.warm_start);
+  expect_metrics_identical(legacy, direct);
+}
+
+TEST(Registry, KnowsTheBuiltins) {
+  auto& registry = EmbedderRegistry::instance();
+  for (const std::string name :
+       {"OLIVE", "OLIVE-NoBorrow", "OLIVE-NoPreempt", "OLIVE-PlanOnly",
+        "QuickG", "FullG", "SlotOff"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  EXPECT_FALSE(registry.contains("nope"));
+  const auto names = registry.names();
+  EXPECT_GE(names.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+// A one-file plugin: registering an embedder factory at namespace scope
+// makes the name reachable from run_algorithm and every name-dispatching
+// bench.
+OLIVE_REGISTER_EMBEDDER("EngineTest-QuickG", [](const core::Scenario& sc) {
+  return std::make_unique<core::OliveEmbedder>(
+      sc.substrate, sc.apps, core::Plan::empty(), "EngineTest-QuickG");
+});
+
+TEST(Registry, PluginRegistrationReachesRunAlgorithm) {
+  const core::Scenario sc = core::build_scenario(small_config());
+  const core::SimMetrics plugin =
+      core::run_algorithm(sc, "EngineTest-QuickG");
+  core::SimMetrics reference = core::run_algorithm(sc, "QuickG");
+  reference.algorithm = "EngineTest-QuickG";  // names differ by design
+  expect_metrics_identical(reference, plugin);
+}
+
+TEST(Registry, RunAlgorithmMatchesDirectEngineUse) {
+  const core::Scenario sc = core::build_scenario(small_config());
+  const core::SimMetrics by_name = core::run_algorithm(sc, "OLIVE");
+  core::OliveEmbedder algo(sc.substrate, sc.apps, sc.plan, "OLIVE");
+  Engine engine(sc.substrate, sc.apps, EngineConfig{sc.config.sim, {}});
+  const core::SimMetrics direct = engine.run(algo, sc.online);
+  expect_metrics_identical(by_name, direct);
+}
+
+struct CountingObserver final : Observer {
+  int slots = 0;
+  int outcomes = 0;
+  int accepted = 0;
+  std::vector<ReplanEvent> replans;
+
+  void on_slot_begin(int) override { ++slots; }
+  void on_outcome(const workload::Request&, const core::EmbedOutcome& out,
+                  int) override {
+    ++outcomes;
+    if (out.accepted()) ++accepted;
+  }
+  void on_replan(const ReplanEvent& event) override {
+    replans.push_back(event);
+  }
+};
+
+TEST(EngineObserver, SeesEverySlotAndOutcomeWithoutPerturbingTheRun) {
+  const core::Scenario sc = core::build_scenario(small_config());
+
+  core::OliveEmbedder plain(sc.substrate, sc.apps, sc.plan, "OLIVE");
+  Engine plain_engine(sc.substrate, sc.apps,
+                      EngineConfig{sc.config.sim, {}});
+  const core::SimMetrics reference = plain_engine.run(plain, sc.online);
+
+  core::OliveEmbedder observed(sc.substrate, sc.apps, sc.plan, "OLIVE");
+  Engine engine(sc.substrate, sc.apps, EngineConfig{sc.config.sim, {}});
+  CountingObserver counter;
+  engine.add_observer(&counter);
+  const core::SimMetrics metrics = engine.run(observed, sc.online);
+
+  expect_metrics_identical(reference, metrics);
+  EXPECT_EQ(counter.slots,
+            static_cast<int>(metrics.offered_series.size()));
+  const int base = sc.online.front().arrival;
+  int processed = 0;
+  for (const auto& r : sc.online)
+    if (r.arrival - base < counter.slots) ++processed;
+  EXPECT_EQ(counter.outcomes, processed);
+  EXPECT_GT(counter.accepted, 0);
+  EXPECT_TRUE(counter.replans.empty());  // policy off
+}
+
+/// The drifting-utilization scenario (acceptance criterion): online demand
+/// ramps to 2.5x the plan's expectation, so the static plan goes stale and
+/// periodic re-planning must lower OLIVE's total cost.
+core::ScenarioConfig drifting_config() {
+  core::ScenarioConfig cfg;
+  cfg.topology = "Iris";
+  cfg.utilization = 1.0;
+  cfg.drift = 1.5;
+  cfg.seed = 7;
+  cfg.trace.horizon = 700;
+  cfg.trace.plan_slots = 400;
+  cfg.sim.measure_from = 20;
+  cfg.sim.measure_to = 280;
+  cfg.sim.drain_slots = 20;
+  return cfg;
+}
+
+ReplanConfig drifting_replan(const core::ScenarioConfig& cfg) {
+  ReplanConfig replan;
+  replan.period = 100;
+  replan.plan = cfg.plan;
+  replan.plan.max_rounds = 8;
+  replan.seed = cfg.seed;
+  return replan;
+}
+
+TEST(EngineReplan, BeatsTheStaticPlanUnderDriftingUtilization) {
+  const core::ScenarioConfig cfg = drifting_config();
+  const core::Scenario sc = core::build_scenario(cfg);
+  const core::SimMetrics static_plan = core::run_algorithm(sc, "OLIVE");
+
+  EngineConfig ecfg{cfg.sim, drifting_replan(cfg)};
+  Engine engine(sc.substrate, sc.apps, ecfg);
+  CountingObserver counter;
+  engine.add_observer(&counter);
+  core::OliveEmbedder algo(sc.substrate, sc.apps, sc.plan, "OLIVE");
+  const core::SimMetrics replanned = engine.run(algo, sc.online);
+
+  // Two launches (slots 100, 200) inside the 300-slot test period, both
+  // installed one slot later; the second re-plan starts from the first's
+  // carried basis.
+  EXPECT_EQ(replanned.replans, 2);
+  EXPECT_EQ(replanned.plan_solves, 2);
+  EXPECT_EQ(replanned.plan_warm_start_hits, 1);
+  ASSERT_EQ(counter.replans.size(), 2u);
+  for (const ReplanEvent& ev : counter.replans) {
+    EXPECT_TRUE(ev.installed);
+    EXPECT_EQ(ev.install_slot, ev.launch_slot + 1);
+    EXPECT_GT(ev.classes, 0);
+  }
+  EXPECT_EQ(counter.replans[0].launch_slot, 100);
+  EXPECT_EQ(counter.replans[1].launch_slot, 200);
+
+  // The payoff: fresher guarantees shed rejections faster than the swap
+  // churn adds preemptions.
+  EXPECT_LT(replanned.total_cost(), static_plan.total_cost());
+  EXPECT_LT(replanned.rejection_rate(), static_plan.rejection_rate());
+}
+
+/// An embedder with no notion of a plan: install_plan keeps the default
+/// refusal, so the engine must disable re-planning after the first swap
+/// attempt instead of solving windows nobody consumes.
+struct PlanlessEmbedder final : core::OnlineEmbedder {
+  core::LoadTracker load_;
+  explicit PlanlessEmbedder(const net::SubstrateNetwork& s) : load_(s) {}
+  std::string name() const override { return "planless"; }
+  void reset() override {}
+  core::EmbedOutcome embed(const workload::Request&) override { return {}; }
+  void depart(const workload::Request&) override {}
+  const core::LoadTracker& load() const override { return load_; }
+};
+
+TEST(EngineReplan, PlanlessEmbedderDisablesThePolicyAfterOneRefusal) {
+  const core::ScenarioConfig cfg = small_config();
+  const core::Scenario sc = core::build_scenario(cfg);
+
+  EngineConfig ecfg{cfg.sim, {}};
+  ecfg.replan.period = 10;
+  ecfg.replan.plan = cfg.plan;
+  ecfg.replan.plan.max_rounds = 4;
+  Engine engine(sc.substrate, sc.apps, ecfg);
+  CountingObserver counter;
+  engine.add_observer(&counter);
+  PlanlessEmbedder algo(sc.substrate);
+  const core::SimMetrics metrics = engine.run(algo, sc.online);
+
+  EXPECT_EQ(metrics.replans, 0);
+  EXPECT_EQ(metrics.plan_solves, 0);
+  ASSERT_EQ(counter.replans.size(), 1u);  // one refused swap, then silence
+  EXPECT_FALSE(counter.replans[0].installed);
+  EXPECT_EQ(metrics.accepted, 0);  // it rejects everything
+}
+
+}  // namespace
+}  // namespace olive::engine

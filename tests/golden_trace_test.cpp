@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "core/simulator.hpp"
+#include "engine/engine.hpp"
 #include "topo/topologies.hpp"
 #include "util/rng.hpp"
 
@@ -105,6 +106,19 @@ TEST(GoldenTrace, SlotOffTenSlotIrisWindow) {
   // Basis warm starts: the first slot is necessarily cold; every later slot
   // re-starts from the previous optimal basis and the pivot count drops by
   // more than half relative to the cold-start path pinned below.
+  EXPECT_EQ(m.plan_warm_start_hits, 9);
+  EXPECT_EQ(m.plan_simplex_iterations, 152);
+}
+
+TEST(GoldenTrace, EngineDrivenSlotOffReproducesTheGoldenWindow) {
+  // The engine redesign's equivalence contract: driving the same window
+  // through engine::Engine directly (the code path run_slotoff wraps)
+  // reproduces every golden number bit-for-bit while ReplanPolicy is off.
+  const GoldenScenario g = golden_scenario();
+  const SlotOffConfig so = golden_config();
+  engine::Engine eng(g.substrate, g.apps, engine::EngineConfig{so.sim, {}});
+  const SimMetrics m = eng.run_slotoff(g.trace, so.plan, so.warm_start);
+  expect_golden_outcomes(m);
   EXPECT_EQ(m.plan_warm_start_hits, 9);
   EXPECT_EQ(m.plan_simplex_iterations, 152);
 }

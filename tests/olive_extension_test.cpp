@@ -8,7 +8,9 @@
 #include "core/olive.hpp"
 #include "core/plan_solver.hpp"
 #include "core/scenario.hpp"
+#include "engine/engine.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace olive::core {
 namespace {
@@ -135,6 +137,102 @@ TEST(Replan, OldPlannedAllocationsBecomePreemptible) {
   EXPECT_EQ(out.kind, OutcomeKind::Planned);
   ASSERT_EQ(out.preempted_ids.size(), 1u);
   EXPECT_EQ(out.preempted_ids[0], 1);
+}
+
+TEST(Replan, AsyncComputedPlanSwapReclassifiesPlannedAsBorrowed) {
+  // The engine's ReplanPolicy regime: the replacement plan is solved on the
+  // shared pool and crosses a thread boundary before install_plan consumes
+  // it.  The reclassification contract is unchanged: the pre-swap planned
+  // allocation keeps its resources but loses its guaranteed share.
+  const auto s = two_host_network(400, 400, 10);
+  const auto apps = chain_app();
+  OliveEmbedder algo(s, apps, one_class_plan(s, apps, 20.0));
+  EXPECT_EQ(algo.embed(make_request(1, 20.0)).kind, OutcomeKind::Planned);
+
+  std::future<Plan> async_plan = ThreadPool::global().submit(
+      [&] { return one_class_plan(s, apps, 20.0); });
+  EXPECT_TRUE(algo.install_plan(async_plan.get()));
+
+  // Fresh residual under the new plan, and the old allocation is now a
+  // preemptible borrower: new guaranteed demand evicts it.
+  EXPECT_NEAR(algo.plan_residual(0, 0), 20.0, 1e-9);
+  const auto out = algo.embed(make_request(2, 20.0));
+  EXPECT_EQ(out.kind, OutcomeKind::Planned);
+  ASSERT_EQ(out.preempted_ids.size(), 1u);
+  EXPECT_EQ(out.preempted_ids[0], 1);
+}
+
+TEST(Replan, EngineSwapAndPreemptionInTheSameSlot) {
+  // Full engine drive of the async re-plan path on a hand-built two-host
+  // scenario: a planned request fills host A, the ReplanPolicy re-aggregates
+  // the trailing window and hot-swaps at slot 3, and an arrival in that same
+  // slot claims the new plan's guaranteed share — preempting the pre-swap
+  // allocation the swap just reclassified as borrowed.
+  const auto s = two_host_network(400, 400, 10);
+  const auto apps = chain_app();
+
+  workload::Trace trace;
+  {
+    workload::Request a = make_request(1, 20.0);
+    a.arrival = 0;
+    a.duration = 10;
+    workload::Request b = make_request(2, 20.0);
+    b.arrival = 3;
+    b.duration = 10;
+    trace.push_back(a);
+    trace.push_back(b);
+  }
+
+  engine::EngineConfig ecfg;
+  ecfg.sim.measure_from = 0;
+  ecfg.sim.measure_to = 6;
+  ecfg.sim.drain_slots = 0;
+  ecfg.sim.record_requests = true;
+  ecfg.replan.period = 2;        // launches at slots 2 and 4
+  ecfg.replan.install_delay = 1;  // installs at slots 3 and 5
+
+  struct SwapObserver final : engine::Observer {
+    std::vector<engine::ReplanEvent> events;
+    std::vector<std::pair<int, EmbedOutcome>> outcomes;
+    void on_replan(const engine::ReplanEvent& ev) override {
+      events.push_back(ev);
+    }
+    void on_outcome(const workload::Request& r, const EmbedOutcome& out,
+                    int) override {
+      outcomes.emplace_back(r.id, out);
+    }
+  } observer;
+
+  engine::Engine eng(s, apps, ecfg);
+  eng.add_observer(&observer);
+  OliveEmbedder algo(s, apps, one_class_plan(s, apps, 20.0));
+  const SimMetrics m = eng.run(algo, trace);
+
+  // Both requests embedded as Planned; the first was preempted by the
+  // second in the swap slot.
+  EXPECT_EQ(m.offered, 2);
+  EXPECT_EQ(m.accepted, 1);
+  EXPECT_EQ(m.rejected, 0);
+  EXPECT_EQ(m.preempted, 1);
+
+  ASSERT_GE(observer.events.size(), 1u);
+  EXPECT_EQ(observer.events[0].launch_slot, 2);
+  EXPECT_EQ(observer.events[0].install_slot, 3);
+  EXPECT_TRUE(observer.events[0].installed);
+  EXPECT_EQ(observer.events[0].classes, 1);
+
+  ASSERT_EQ(observer.outcomes.size(), 2u);
+  EXPECT_EQ(observer.outcomes[0].first, 1);
+  EXPECT_EQ(observer.outcomes[0].second.kind, OutcomeKind::Planned);
+  EXPECT_EQ(observer.outcomes[1].first, 2);
+  EXPECT_EQ(observer.outcomes[1].second.kind, OutcomeKind::Planned);
+  ASSERT_EQ(observer.outcomes[1].second.preempted_ids.size(), 1u);
+  EXPECT_EQ(observer.outcomes[1].second.preempted_ids[0], 1);
+
+  ASSERT_EQ(m.records.size(), 2u);
+  EXPECT_EQ(m.records[0].id, 1);
+  EXPECT_EQ(m.records[0].preempted_at, 3);  // the swap slot
+  EXPECT_EQ(m.records[1].preempted_at, -1);
 }
 
 TEST(Conformance, MatchedDemandConformsFarMoreThanMismatched) {

@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/olive.hpp"
 #include "core/plan_solver.hpp"
 #include "core/scenario.hpp"
 #include "core/simulator.hpp"
+#include "engine/engine.hpp"
 #include "net/embedding.hpp"
 
 namespace olive::core {
@@ -156,6 +158,59 @@ TEST_P(ParallelDeterminismTest, SlotOffWindowProducesIdenticalSimMetrics) {
     EXPECT_EQ(serial.plan_objective_sum, parallel.plan_objective_sum)
         << threads;
     EXPECT_EQ(serial.allocated_series, parallel.allocated_series) << threads;
+  }
+}
+
+// Async mid-run re-planning must honor the same contract: the install slot
+// is fixed by the policy (never by solver latency) and the re-plan solves
+// are bit-identical across pricing thread counts, so an Engine run with
+// ReplanPolicy on produces identical SimMetrics at every OLIVE_THREADS
+// value — whether the solve overlaps the embedding loop or runs inline.
+TEST(ReplanDeterminism, EngineRunBitIdenticalAcrossThreadCounts) {
+  ScenarioConfig cfg = small_config("Iris", 7);
+  cfg.drift = 1.5;  // drifting demand, so every re-plan changes the plan
+  cfg.sim.drain_slots = 10;
+  const Scenario sc = build_scenario(cfg);
+
+  const auto run_with_threads = [&](int threads) {
+    engine::EngineConfig ecfg;
+    ecfg.sim = cfg.sim;
+    ecfg.replan.period = 20;
+    ecfg.replan.plan = cfg.plan;
+    ecfg.replan.plan.max_rounds = 8;
+    ecfg.replan.plan.threads = threads;
+    ecfg.replan.seed = cfg.seed;
+    engine::Engine eng(sc.substrate, sc.apps, ecfg);
+    OliveEmbedder algo(sc.substrate, sc.apps, sc.plan, "OLIVE");
+    return eng.run(algo, sc.online);
+  };
+
+  const SimMetrics serial = run_with_threads(1);
+  ASSERT_GT(serial.replans, 0);
+  for (const int threads : {4}) {
+    const SimMetrics parallel = run_with_threads(threads);
+    EXPECT_EQ(serial.offered, parallel.offered) << threads;
+    EXPECT_EQ(serial.accepted, parallel.accepted) << threads;
+    EXPECT_EQ(serial.rejected, parallel.rejected) << threads;
+    EXPECT_EQ(serial.preempted, parallel.preempted) << threads;
+    EXPECT_EQ(serial.rejected_demand, parallel.rejected_demand) << threads;
+    EXPECT_EQ(serial.resource_cost, parallel.resource_cost) << threads;
+    EXPECT_EQ(serial.rejection_cost, parallel.rejection_cost) << threads;
+    EXPECT_EQ(serial.replans, parallel.replans) << threads;
+    EXPECT_EQ(serial.plan_solves, parallel.plan_solves) << threads;
+    EXPECT_EQ(serial.plan_simplex_iterations,
+              parallel.plan_simplex_iterations)
+        << threads;
+    EXPECT_EQ(serial.plan_rounds, parallel.plan_rounds) << threads;
+    EXPECT_EQ(serial.plan_columns_generated, parallel.plan_columns_generated)
+        << threads;
+    EXPECT_EQ(serial.plan_objective_sum, parallel.plan_objective_sum)
+        << threads;
+    EXPECT_EQ(serial.plan_warm_start_hits, parallel.plan_warm_start_hits)
+        << threads;
+    EXPECT_EQ(serial.allocated_series, parallel.allocated_series) << threads;
+    EXPECT_EQ(serial.rejected_by_node_app, parallel.rejected_by_node_app)
+        << threads;
   }
 }
 
