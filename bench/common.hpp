@@ -87,54 +87,113 @@ inline BenchCli& bench_cli() {
 }
 
 [[noreturn]] inline void cli_usage(const char* prog, int exit_code) {
-  std::cout << "usage: " << prog
-            << " [--scale quick|full] [--reps N] [--topology FILTER]"
-               " [--algo FILTER] [--json PATH] [--threads N]\n"
-               "Filters are substring matches over the names a bench sweeps;"
-               " env defaults: OLIVE_REPRO_FULL=1, OLIVE_BENCH_REPS=N.\n";
+  (exit_code == 0 ? std::cout : std::cerr)
+      << "usage: " << prog
+      << " [--scale quick|full] [--reps N] [--topology FILTER]"
+         " [--algo FILTER] [--json PATH] [--threads N]\n"
+         "Filters are substring matches over the names a bench sweeps;"
+         " env defaults: OLIVE_REPRO_FULL=1, OLIVE_BENCH_REPS=N.\n";
   std::exit(exit_code);
+}
+
+/// The shared flags as parsed, before any env side effect is applied.
+struct CliArgs {
+  std::string scale_choice;  ///< "", "quick" or "full"
+  int reps = 0;              ///< 0 = flag absent
+  std::string topology, algo, json;
+  int threads = 0;  ///< 0 = flag absent
+  bool help = false;
+};
+
+/// Pure parser over argv[1..argc): fills `out` and returns true, or returns
+/// false with a diagnostic in `error`.  Rejects unknown flags, missing
+/// values, and malformed numbers instead of silently ignoring them; touches
+/// neither the environment nor the process (unit-tested in
+/// tests/bench_cli_test.cpp).
+inline bool parse_cli_args(const std::vector<std::string>& args, CliArgs& out,
+                           std::string& error) {
+  const auto value = [&](std::size_t& i, std::string& dst) {
+    if (i + 1 >= args.size()) {
+      error = "flag " + args[i] + " expects a value";
+      return false;
+    }
+    dst = args[++i];
+    return true;
+  };
+  const auto positive_int = [&](const std::string& flag, std::size_t& i,
+                                int& dst) {
+    std::string v;
+    if (!value(i, v)) return false;
+    std::size_t consumed = 0;
+    int parsed = 0;
+    try {
+      parsed = std::stoi(v, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != v.size() || parsed <= 0) {
+      error = flag + " expects a positive integer, got '" + v + "'";
+      return false;
+    }
+    dst = parsed;
+    return true;
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--scale") {
+      if (!value(i, out.scale_choice)) return false;
+      if (out.scale_choice != "quick" && out.scale_choice != "full") {
+        error = "--scale expects quick|full, got '" + out.scale_choice + "'";
+        return false;
+      }
+    } else if (arg == "--reps") {
+      if (!positive_int("--reps", i, out.reps)) return false;
+    } else if (arg == "--topology") {
+      if (!value(i, out.topology)) return false;
+    } else if (arg == "--algo") {
+      if (!value(i, out.algo)) return false;
+    } else if (arg == "--json") {
+      if (!value(i, out.json)) return false;
+    } else if (arg == "--threads") {
+      if (!positive_int("--threads", i, out.threads)) return false;
+    } else if (arg == "--help" || arg == "-h") {
+      out.help = true;
+    } else {
+      error = "unknown flag '" + arg + "'";
+      return false;
+    }
+  }
+  return true;
 }
 
 /// Parses the shared flags (see the header comment), stores the result in
 /// bench_cli(), and returns it.  Call first thing in every bench main().
+/// Malformed command lines print the diagnostic plus usage to stderr and
+/// exit 2.
 inline const BenchCli& parse_cli(int argc, char** argv) {
-  BenchCli cli;
-  cli.scale = bench_scale();  // env-seeded defaults
-  int reps_override = 0;
-  const auto value = [&](int& i) -> std::string {
-    if (i + 1 >= argc) cli_usage(argv[0], 2);
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--scale") {
-      const std::string v = value(i);
-      if (v == "full") {
-        setenv("OLIVE_REPRO_FULL", "1", 1);
-      } else if (v == "quick") {
-        unsetenv("OLIVE_REPRO_FULL");
-      } else {
-        cli_usage(argv[0], 2);
-      }
-      cli.scale = bench_scale();
-    } else if (arg == "--reps") {
-      reps_override = std::max(1, std::atoi(value(i).c_str()));
-    } else if (arg == "--topology") {
-      cli.topology = value(i);
-    } else if (arg == "--algo") {
-      cli.algo = value(i);
-    } else if (arg == "--json") {
-      cli.json = value(i);
-    } else if (arg == "--threads") {
-      setenv("OLIVE_THREADS", value(i).c_str(), 1);
-    } else if (arg == "--help" || arg == "-h") {
-      cli_usage(argv[0], 0);
-    } else {
-      cli_usage(argv[0], 2);
-    }
+  CliArgs args;
+  std::string error;
+  if (!parse_cli_args({argv + 1, argv + argc}, args, error)) {
+    std::cerr << "error: " << error << "\n";
+    cli_usage(argv[0], 2);
   }
-  if (reps_override > 0) cli.scale.reps = reps_override;
-  cli.reps_override = reps_override;
+  if (args.help) cli_usage(argv[0], 0);
+
+  if (args.scale_choice == "full") {
+    setenv("OLIVE_REPRO_FULL", "1", 1);
+  } else if (args.scale_choice == "quick") {
+    unsetenv("OLIVE_REPRO_FULL");
+  }
+  if (args.threads > 0)
+    setenv("OLIVE_THREADS", std::to_string(args.threads).c_str(), 1);
+
+  BenchCli cli;
+  cli.scale = bench_scale();  // env-seeded, after --scale took effect
+  cli.topology = args.topology;
+  cli.algo = args.algo;
+  cli.json = args.json;
+  if (args.reps > 0) cli.scale.reps = args.reps;
+  cli.reps_override = args.reps;
   bench_cli() = cli;
   return bench_cli();
 }

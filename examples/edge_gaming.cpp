@@ -36,7 +36,7 @@ int main() {
   // registry (plugins registered with OLIVE_REGISTER_ALGORITHM appear here
   // automatically).
   engine::Engine eng(sc.substrate, sc.apps,
-                     engine::EngineConfig{sc.config.sim, {}});
+                     engine::EngineConfig{sc.config.sim, {}, {}});
   for (const std::string algo : {"OLIVE", "QuickG"}) {
     const auto m = engine::EmbedderRegistry::instance().run(algo, eng, sc);
     long planned = 0, borrowed = 0, greedy = 0;

@@ -47,7 +47,7 @@ int main() {
             << "  -> QUICKG cannot run this scenario\n\n";
 
   engine::Engine eng(sc.substrate, sc.apps,
-                     engine::EngineConfig{sc.config.sim, {}});
+                     engine::EngineConfig{sc.config.sim, {}, {}});
   for (const std::string algo : {"OLIVE", "SlotOff", "FullG"}) {
     const auto m = engine::EmbedderRegistry::instance().run(algo, eng, sc);
     std::cout << algo << ": rejection rate " << 100 * m.rejection_rate()

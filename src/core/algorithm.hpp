@@ -3,11 +3,13 @@
 // has its own driver (engine::Engine::run_slotoff; see engine/engine.hpp).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/load.hpp"
 #include "core/plan.hpp"
+#include "net/embedding.hpp"
 #include "workload/request.hpp"
 
 namespace olive::core {
@@ -28,6 +30,9 @@ struct EmbedOutcome {
   double unit_cost = 0;
   /// Per-unit-demand element usage (accepted only).
   Usage usage;
+  /// The chosen embedding itself (accepted only) — the substrate-dynamics
+  /// layer needs it to repair allocations broken by failures.
+  net::Embedding embedding;
   /// Requests preempted to make room (their resources are already released).
   std::vector<int> preempted_ids;
 
@@ -57,6 +62,30 @@ class OnlineEmbedder {
   virtual bool install_plan(Plan plan) {
     (void)plan;
     return false;
+  }
+
+  /// Applies a substrate capacity change (failure / recovery / rescale) to
+  /// the embedder's residual view.  Returns false when the embedder does not
+  /// track dynamic capacity — the default — in which case the engine refuses
+  /// to run a failure trace against it.
+  virtual bool set_element_capacity(int element, double capacity) {
+    (void)element;
+    (void)capacity;
+    return false;
+  }
+
+  /// Re-admits request r (previously evicted via depart) under a
+  /// migration-repair embedding.  Returns the applied outcome, or nullopt
+  /// when unsupported (the default) or when `e` no longer fits the
+  /// residuals — the engine then counts the request as an SLA violation.
+  /// Implementations must not preempt to make room (the returned
+  /// outcome's preempted_ids must stay empty): `e` either fits as-is or
+  /// the adopt fails.
+  virtual std::optional<EmbedOutcome> adopt(const workload::Request& r,
+                                            const net::Embedding& e) {
+    (void)r;
+    (void)e;
+    return std::nullopt;
   }
 
   /// Residual substrate view (diagnostics / tests).

@@ -47,9 +47,10 @@ EmbedOutcome FullGreedyEmbedder::embed(const workload::Request& r) {
     out.kind = OutcomeKind::Greedy;
     out.usage = net::unit_usage(substrate_, vn, *dp);
     out.unit_cost = net::unit_cost(substrate_, vn, *dp);
+    out.embedding = *dp;
     if (load_.fits(out.usage, r.demand)) {
       load_.apply(out.usage, r.demand);
-      active_.emplace(r.id, Active{out.usage, r.demand});
+      active_.emplace(r.id, Active{out.usage, *dp, r.demand});
       return out;
     }
   } else {
@@ -201,9 +202,10 @@ EmbedOutcome FullGreedyEmbedder::embed(const workload::Request& r) {
   out.kind = OutcomeKind::Greedy;
   out.usage = net::unit_usage(substrate_, vn, e);
   out.unit_cost = net::unit_cost(substrate_, vn, e);
+  out.embedding = e;
   if (!load_.fits(out.usage, d)) return EmbedOutcome{};  // tolerance edge
   load_.apply(out.usage, d);
-  active_.emplace(r.id, Active{out.usage, d});
+  active_.emplace(r.id, Active{out.usage, e, d});
   return out;
 }
 
@@ -212,6 +214,26 @@ void FullGreedyEmbedder::depart(const workload::Request& r) {
   if (it == active_.end()) return;
   load_.release(it->second.usage, it->second.demand);
   active_.erase(it);
+}
+
+bool FullGreedyEmbedder::set_element_capacity(int element, double capacity) {
+  load_.set_capacity(element, capacity);
+  return true;
+}
+
+std::optional<EmbedOutcome> FullGreedyEmbedder::adopt(
+    const workload::Request& r, const net::Embedding& e) {
+  OLIVE_REQUIRE(!active_.contains(r.id), "adopt of a still-active request");
+  const net::VirtualNetwork& vn = apps_[r.app].topology;
+  EmbedOutcome out;
+  out.kind = OutcomeKind::Greedy;
+  out.usage = net::unit_usage(substrate_, vn, e);
+  out.unit_cost = net::unit_cost(substrate_, vn, e);
+  out.embedding = e;
+  if (!load_.fits(out.usage, r.demand)) return std::nullopt;
+  load_.apply(out.usage, r.demand);
+  active_.emplace(r.id, Active{out.usage, e, r.demand});
+  return out;
 }
 
 }  // namespace olive::core

@@ -37,10 +37,14 @@ class FullGreedyEmbedder final : public OnlineEmbedder {
   EmbedOutcome embed(const workload::Request& r) override;
   void depart(const workload::Request& r) override;
   const LoadTracker& load() const override { return load_; }
+  bool set_element_capacity(int element, double capacity) override;
+  std::optional<EmbedOutcome> adopt(const workload::Request& r,
+                                    const net::Embedding& e) override;
 
  private:
   struct Active {
     Usage usage;
+    net::Embedding embedding;
     double demand = 0;
   };
 

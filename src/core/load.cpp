@@ -17,9 +17,12 @@ LoadTracker::LoadTracker(const net::SubstrateNetwork& s) : substrate_(&s) {
 }
 
 void LoadTracker::reset() {
-  residual_.resize(substrate_->element_count());
-  for (int e = 0; e < substrate_->element_count(); ++e)
-    residual_[e] = substrate_->element_capacity(e);
+  const int n = substrate_->element_count();
+  capacity_.resize(n);
+  used_.assign(n, 0.0);
+  residual_.resize(n);
+  for (int e = 0; e < n; ++e)
+    residual_[e] = capacity_[e] = substrate_->element_capacity(e);
 }
 
 bool LoadTracker::fits(const Usage& usage, double demand) const noexcept {
@@ -30,6 +33,7 @@ bool LoadTracker::fits(const Usage& usage, double demand) const noexcept {
 
 void LoadTracker::apply(const Usage& usage, double demand) {
   for (const auto& [elem, amount] : usage) {
+    used_[elem] += amount * demand;
     residual_[elem] -= amount * demand;
     OLIVE_ASSERT(residual_[elem] >= -1e-3);  // callers must check fits() first
   }
@@ -37,10 +41,19 @@ void LoadTracker::apply(const Usage& usage, double demand) {
 
 void LoadTracker::release(const Usage& usage, double demand) {
   for (const auto& [elem, amount] : usage) {
+    used_[elem] -= amount * demand;
     residual_[elem] += amount * demand;
-    OLIVE_ASSERT(residual_[elem] <=
-                 substrate_->element_capacity(elem) + 1e-3);
+    // Releases must never exceed what was committed, whatever the capacity
+    // did in between (the "safe release accounting" contract).
+    OLIVE_ASSERT(used_[elem] >= -1e-3);
   }
+}
+
+void LoadTracker::set_capacity(int element, double cap) {
+  OLIVE_ASSERT(element >= 0 &&
+               element < static_cast<int>(capacity_.size()) && cap >= 0);
+  residual_[element] += cap - capacity_[element];
+  capacity_[element] = cap;
 }
 
 double LoadTracker::min_residual() const noexcept {

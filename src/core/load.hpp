@@ -1,9 +1,19 @@
 // Residual-capacity tracking over substrate elements (Eq. 16).
 //
-// A LoadTracker holds the residual capacity Res(S, t, x) of every substrate
-// element under the current set of active allocations.  Allocations are
-// expressed as per-unit-demand usage vectors (see net::unit_usage) scaled by
-// the request demand.
+// A LoadTracker holds, for every substrate element, its *current* capacity
+// and the demand committed to it by active allocations; the residual
+// Res(S, t, x) is their difference.  Allocations are expressed as
+// per-unit-demand usage vectors (see net::unit_usage) scaled by the request
+// demand.
+//
+// Capacities start at the substrate's nominal values but are mutable
+// (set_capacity): the engine's substrate-dynamics layer shrinks them on
+// failures and restores them on recovery (docs/failures.md).  Committed
+// usage and capacity are accounted separately, so a capacity drop below the
+// committed load is representable (residual goes negative until the engine
+// migrates or drops the broken allocations) and releases stay exact: a
+// release subtracts from the committed side only and can never "refill" an
+// element beyond what was allocated, whatever the capacity did in between.
 #pragma once
 
 #include <utility>
@@ -24,16 +34,27 @@ class LoadTracker {
   /// (within a small tolerance, Eq. 18).
   bool fits(const Usage& usage, double demand) const noexcept;
 
-  /// Subtracts usage*demand from the residuals.
+  /// Commits usage*demand (subtracts it from the residuals).
   void apply(const Usage& usage, double demand);
 
-  /// Adds usage*demand back (departure / preemption).
+  /// Releases usage*demand (departure / preemption / failure eviction).
   void release(const Usage& usage, double demand);
 
   double residual(int element) const { return residual_.at(element); }
   const std::vector<double>& residuals() const noexcept { return residual_; }
 
-  /// Resets residuals to the full substrate capacities.
+  /// Current capacity of an element (nominal unless set_capacity changed it).
+  double capacity(int element) const { return capacity_.at(element); }
+  /// Demand currently committed to an element.
+  double used(int element) const { return used_.at(element); }
+
+  /// Sets an element's current capacity (failure: 0, recovery: nominal,
+  /// rescale: a fraction of nominal).  Committed usage is untouched; the
+  /// residual may go negative until the owner restores feasibility.
+  void set_capacity(int element, double cap);
+
+  /// Resets capacities to the substrate's nominal values and drops all
+  /// committed usage.
   void reset();
 
   /// Smallest residual across all elements (diagnostics / invariants).
@@ -41,7 +62,9 @@ class LoadTracker {
 
  private:
   const net::SubstrateNetwork* substrate_;
-  std::vector<double> residual_;
+  std::vector<double> capacity_;
+  std::vector<double> used_;
+  std::vector<double> residual_;  ///< capacity_ - used_, kept incrementally
 };
 
 }  // namespace olive::core

@@ -1,0 +1,93 @@
+#include "core/migrator.hpp"
+
+#include <unordered_map>
+
+#include "core/embedder.hpp"
+#include "net/paths.hpp"
+#include "util/error.hpp"
+
+namespace olive::core {
+
+namespace {
+constexpr double kTol = 1e-9;
+}  // namespace
+
+Migrator::Migrator(const net::SubstrateNetwork& substrate,
+                   const std::vector<net::Application>& apps)
+    : substrate_(substrate),
+      apps_(apps),
+      link_costs_(net::link_cost_weights(substrate)) {}
+
+std::optional<net::Embedding> Migrator::patch_paths(
+    const net::VirtualNetwork& vn, const net::Embedding& broken,
+    double demand, const LoadTracker& load) const {
+  // The patch keeps every VNF in place, so each hosting node must still fit
+  // its aggregate placed size.
+  std::unordered_map<net::NodeId, double> node_size;
+  for (int i = 0; i < vn.num_nodes(); ++i)
+    node_size[broken.node_map[i]] += vn.vnode(i).size;
+  for (const auto& [v, size] : node_size) {
+    if (size == 0) continue;
+    if (load.residual(substrate_.node_element(v)) < size * demand - kTol)
+      return std::nullopt;  // a placement itself is broken; patching won't do
+  }
+
+  net::Embedding candidate = broken;
+  for (int l = 0; l < vn.num_links(); ++l) {
+    const double beta = vn.vlink(l).size;
+    const auto link_ok = [&](net::LinkId sl) {
+      return load.residual(substrate_.link_element(sl)) >=
+             beta * demand - kTol;
+    };
+    bool path_alive = true;
+    for (const net::LinkId sl : candidate.link_paths[l])
+      if (!link_ok(sl)) path_alive = false;
+    if (path_alive) continue;
+
+    // Re-route this virtual link: min-cost path between its endpoints over
+    // the links that individually fit it.
+    const net::NodeId from = candidate.node_map[vn.vlink(l).parent];
+    const net::NodeId to = candidate.node_map[vn.vlink(l).child];
+    const net::ShortestPathTree tree =
+        net::dijkstra(substrate_, from, link_costs_, link_ok);
+    if (!tree.reachable(to)) return std::nullopt;
+    candidate.link_paths[l] = tree.path_to(to);
+  }
+
+  // Per-link checks are only necessary conditions; the joint load decides.
+  if (!load.fits(net::unit_usage(substrate_, vn, candidate), demand))
+    return std::nullopt;
+  return candidate;
+}
+
+std::optional<net::Embedding> Migrator::repair(const workload::Request& r,
+                                               const net::Embedding& broken,
+                                               const LoadTracker& load) {
+  OLIVE_REQUIRE(r.app >= 0 && r.app < static_cast<int>(apps_.size()),
+                "request app out of range");
+  const net::VirtualNetwork& vn = apps_[r.app].topology;
+  ++stats_.attempts;
+
+  if (auto patched = patch_paths(vn, broken, r.demand, load)) {
+    ++stats_.path_patches;
+    return patched;
+  }
+
+  if (auto e = capacitated_min_cost_tree_embedding(substrate_, vn, r.ingress,
+                                                   r.demand, load)) {
+    if (load.fits(net::unit_usage(substrate_, vn, *e), r.demand)) {
+      ++stats_.reembeds;
+      return e;
+    }
+  }
+  if (auto e = greedy_collocated_embedding(substrate_, vn, r.ingress,
+                                           r.demand, load)) {
+    ++stats_.reembeds;
+    return e;
+  }
+
+  ++stats_.failures;
+  return std::nullopt;
+}
+
+}  // namespace olive::core

@@ -1,0 +1,65 @@
+// Migration-based repair of embeddings broken by substrate failures
+// (docs/failures.md).
+//
+// When a failure event leaves an active embedding infeasible (a hosting
+// node or path link lost its capacity), the engine evicts it and asks the
+// Migrator for a replacement embedding against the *residual* capacities.
+// Repair is staged cheapest-first:
+//
+//  1. path patch — every VNF placement still fits, so only the broken
+//     substrate paths are re-routed (one capacity-filtered Dijkstra per
+//     broken virtual link, min-cost on the per-CU link costs);
+//  2. full re-embed — the capacity-filtered exact tree-DP
+//     (capacitated_min_cost_tree_embedding, the FULLG fast path, built on
+//     LazyShortestPaths + the MinCostTreeDP recurrences) with the root θ
+//     still pinned to the request's ingress;
+//  3. greedy fallback — GREEDYEMBED's least-cost collocated embedding.
+//
+// All three stages are deterministic functions of (substrate, residuals,
+// request), so repaired runs stay bit-identical at every thread count.
+#pragma once
+
+#include <optional>
+
+#include "core/load.hpp"
+#include "net/embedding.hpp"
+#include "net/vnet.hpp"
+#include "workload/request.hpp"
+
+namespace olive::core {
+
+struct MigratorStats {
+  long attempts = 0;      ///< repair() calls
+  long path_patches = 0;  ///< healed by re-routing broken paths only
+  long reembeds = 0;      ///< needed a full re-embed (incl. greedy fallback)
+  long failures = 0;      ///< no feasible repair existed
+};
+
+class Migrator {
+ public:
+  Migrator(const net::SubstrateNetwork& substrate,
+           const std::vector<net::Application>& apps);
+
+  /// Repairs request r's broken embedding against the residuals in `load`
+  /// (the broken allocation must already be released).  Returns the
+  /// replacement embedding, or nullopt when nothing feasible exists — the
+  /// caller then drops the request as an SLA violation.
+  std::optional<net::Embedding> repair(const workload::Request& r,
+                                       const net::Embedding& broken,
+                                       const LoadTracker& load);
+
+  const MigratorStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::optional<net::Embedding> patch_paths(const net::VirtualNetwork& vn,
+                                            const net::Embedding& broken,
+                                            double demand,
+                                            const LoadTracker& load) const;
+
+  const net::SubstrateNetwork& substrate_;
+  const std::vector<net::Application>& apps_;
+  std::vector<double> link_costs_;  ///< per-CU link cost metric, cached
+  MigratorStats stats_;
+};
+
+}  // namespace olive::core

@@ -68,12 +68,15 @@ EmbedOutcome OliveEmbedder::allocate(const workload::Request& r,
   out.kind = kind;
   out.usage = net::unit_usage(substrate_, apps_[r.app].topology, e);
   out.unit_cost = net::unit_cost(substrate_, apps_[r.app].topology, e);
+  out.embedding = e;
   out.preempted_ids = std::move(preempted);
   OLIVE_ASSERT(load_.fits(out.usage, r.demand));
   load_.apply(out.usage, r.demand);
 
   Active a;
   a.usage = out.usage;
+  a.embedding = e;
+  a.app = r.app;
   a.demand = r.demand;
   a.planned = (kind == OutcomeKind::Planned);
   a.cls = cls;
@@ -215,6 +218,32 @@ EmbedOutcome OliveEmbedder::embed(const workload::Request& r) {
   }
 
   return EmbedOutcome{};  // reject (line 15)
+}
+
+bool OliveEmbedder::set_element_capacity(int element, double capacity) {
+  load_.set_capacity(element, capacity);
+  return true;
+}
+
+std::optional<EmbedOutcome> OliveEmbedder::adopt(const workload::Request& r,
+                                                 const net::Embedding& e) {
+  OLIVE_REQUIRE(!active_.contains(r.id), "adopt of a still-active request");
+  const Usage usage = net::unit_usage(substrate_, apps_[r.app].topology, e);
+  if (!load_.fits(usage, r.demand)) return std::nullopt;
+  // Migrated allocations are ad-hoc: they hold no plan share and are
+  // preemptible like any greedy embedding.
+  return allocate(r, e, OutcomeKind::Greedy, -1, -1, {});
+}
+
+std::vector<OliveEmbedder::ActiveAllocation>
+OliveEmbedder::active_allocations() const {
+  std::vector<ActiveAllocation> out;
+  out.reserve(active_.size());
+  for (const auto& [id, a] : active_)
+    out.push_back({id, a.app, a.demand, a.usage, a.embedding});
+  std::sort(out.begin(), out.end(),
+            [](const auto& x, const auto& y) { return x.id < y.id; });
+  return out;
 }
 
 void OliveEmbedder::depart(const workload::Request& r) {

@@ -53,14 +53,34 @@ class OliveEmbedder final : public OnlineEmbedder {
   void depart(const workload::Request& r) override;
   const LoadTracker& load() const override { return load_; }
 
+  /// Substrate dynamics: capacity changes flow straight into the residual
+  /// view, and migration repairs re-admit as ad-hoc (greedy, preemptible)
+  /// allocations.
+  bool set_element_capacity(int element, double capacity) override;
+  std::optional<EmbedOutcome> adopt(const workload::Request& r,
+                                    const net::Embedding& e) override;
+
   const Plan& plan() const noexcept { return plan_; }
 
   /// Residual planned demand of a plan column (Eq. 17), for tests.
   double plan_residual(int cls, int column) const;
 
+  /// Snapshot of the active allocations, sorted by request id — the
+  /// simulation-level invariant checker reconciles this against load().
+  struct ActiveAllocation {
+    int id = -1;
+    int app = -1;
+    double demand = 0;
+    Usage usage;
+    net::Embedding embedding;
+  };
+  std::vector<ActiveAllocation> active_allocations() const;
+
  private:
   struct Active {
     Usage usage;
+    net::Embedding embedding;
+    int app = -1;
     double demand = 0;
     bool planned = false;
     int cls = -1, column = -1;  // plan bookkeeping for planned allocations

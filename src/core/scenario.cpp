@@ -94,6 +94,15 @@ Scenario build_scenario(const ScenarioConfig& config, int rep) {
   }
   sc.history = std::move(history);
 
+  // Substrate dynamics: one deterministic failure stream per repetition,
+  // over the test-period slots (slot 0 = start of the online period).
+  if (config.failures.enabled()) {
+    Rng fail_rng = rep_rng.fork(stable_hash("failures"));
+    sc.failure_trace = workload::generate_failure_trace(
+        sc.substrate, config.failures, tcfg.horizon - tcfg.plan_slots,
+        fail_rng);
+  }
+
   Rng agg_rng = rep_rng.fork(stable_hash("aggregation"));
   AggregationConfig acfg = config.aggregation;
   acfg.horizon = tcfg.plan_slots;
@@ -108,8 +117,12 @@ SimMetrics run_algorithm(const Scenario& sc, const std::string& algorithm) {
   // Compatibility wrapper: the registry owns algorithm creation now (the
   // built-ins register themselves in engine/algorithms.cpp; plugins via
   // OLIVE_REGISTER_ALGORITHM).  Throws InvalidArgument for unknown names.
-  engine::Engine eng(sc.substrate, sc.apps,
-                     engine::EngineConfig{sc.config.sim, {}});
+  engine::EngineConfig ecfg{sc.config.sim, {}, {}};
+  ecfg.failures.trace = sc.failure_trace;
+  ecfg.failures.repair = sc.config.failure_migrate
+                             ? engine::FailureHandling::Repair::Migrate
+                             : engine::FailureHandling::Repair::Drop;
+  engine::Engine eng(sc.substrate, sc.apps, std::move(ecfg));
   return engine::EmbedderRegistry::instance().run(algorithm, eng, sc);
 }
 

@@ -17,6 +17,7 @@
 #include "topo/topologies.hpp"
 #include "workload/appgen.hpp"
 #include "workload/caida.hpp"
+#include "workload/failures.hpp"
 #include "workload/tracegen.hpp"
 
 namespace olive::core {
@@ -51,6 +52,15 @@ struct ScenarioConfig {
   /// static plan — never sees the ramp.  MMPP traces only (the CAIDA
   /// generator ignores it).  0 disables.
   double drift = 0.0;
+
+  /// Substrate dynamics (docs/failures.md): when `failures.enabled()`, a
+  /// per-repetition failure/recovery trace is drawn over the test period
+  /// and run_algorithm applies it (SlotOff excepted — the per-slot master
+  /// cannot honor shrunk capacities yet).
+  workload::FailureConfig failures;
+  /// Repair policy for failure-hit embeddings: migration-based repair
+  /// (default) or drop-only (every hit is an SLA violation).
+  bool failure_migrate = true;
 };
 
 /// One fully materialized repetition.
@@ -60,6 +70,7 @@ struct Scenario {
   std::vector<net::Application> apps;
   workload::Trace history;  ///< R_HIST (possibly mismatched, per the knobs)
   workload::Trace online;   ///< the test period trace
+  workload::FailureTrace failure_trace;  ///< empty unless failures enabled
   std::vector<AggregateRequest> aggregates;
   Plan plan;
   PlanSolveInfo plan_info;

@@ -14,7 +14,7 @@ SimMetrics run_online(const net::SubstrateNetwork& s,
                       const std::vector<net::Application>& apps,
                       const workload::Trace& trace, OnlineEmbedder& algo,
                       const SimulatorConfig& config) {
-  engine::Engine eng(s, apps, engine::EngineConfig{config, {}});
+  engine::Engine eng(s, apps, engine::EngineConfig{config, {}, {}});
   return eng.run(algo, trace);
 }
 
@@ -22,7 +22,7 @@ SimMetrics run_slotoff(const net::SubstrateNetwork& s,
                        const std::vector<net::Application>& apps,
                        const workload::Trace& trace,
                        const SlotOffConfig& config) {
-  engine::Engine eng(s, apps, engine::EngineConfig{config.sim, {}});
+  engine::Engine eng(s, apps, engine::EngineConfig{config.sim, {}, {}});
   return eng.run_slotoff(trace, config.plan, config.warm_start);
 }
 

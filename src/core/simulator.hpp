@@ -119,6 +119,16 @@ struct SimMetrics {
   long replans = 0;
   double replan_seconds = 0;
 
+  /// Substrate dynamics (engine failure traces, docs/failures.md): capacity
+  /// events applied, active embeddings broken by them, how many of those
+  /// migration repaired, and how many were dropped (SLA violations; dropped
+  /// window requests also count as preempted and incur rejection cost).
+  /// All four are whole-run counts, not window-restricted.
+  long failures = 0;
+  long failure_hit = 0;
+  long migrations = 0;
+  long sla_violations = 0;
+
   std::vector<RequestRecord> records;  // only if record_requests
 };
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/load.hpp"
+#include "core/migrator.hpp"
 #include "util/error.hpp"
 
 namespace olive::engine {
@@ -99,6 +100,13 @@ int resolve_n_slots(const workload::Trace& trace, int base,
   return n_slots;
 }
 
+/// Per-unit-demand usage an allocation places on one element (0 if none).
+double usage_on(const core::Usage& usage, int element) {
+  for (const auto& [e, amount] : usage)
+    if (e == element) return amount;
+  return 0.0;
+}
+
 void accumulate_solve(SimMetrics& metrics, const core::PlanSolveInfo& info) {
   metrics.plan_solves += 1;
   metrics.plan_simplex_iterations += info.simplex_iterations;
@@ -145,6 +153,10 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
     const workload::Request* req = nullptr;
     bool accepted = false;
     double unit_cost = 0;
+    // Only kept under substrate dynamics: what the allocation occupies, so
+    // failure events can find and repair the embeddings they break.
+    core::Usage usage;
+    net::Embedding embedding;
   };
   std::unordered_map<int, Info> info;
   info.reserve(trace.size());
@@ -158,6 +170,22 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
       static_cast<std::size_t>(n_slots) + 1);
 
   ReplanPolicy replan(substrate_, apps_, config_.replan);
+
+  // Substrate dynamics state.  An empty failure trace keeps all of this
+  // inert and skips the engine-side per-allocation usage/embedding
+  // snapshots (embedders still record their own embedding — a few ints
+  // per request — so a trace can be supplied to any run).
+  const workload::FailureTrace& fail_trace = config_.failures.trace;
+  const bool dynamics = !fail_trace.empty();
+  if (dynamics) workload::validate_failure_trace(fail_trace, substrate_);
+  core::Migrator migrator(substrate_, apps_);
+  std::vector<char> elem_down;
+  std::vector<double> elem_factor;
+  if (dynamics) {
+    elem_down.assign(substrate_.element_count(), 0);
+    elem_factor.assign(substrate_.element_count(), 1.0);
+  }
+  std::size_t next_event = 0;
 
   algo.reset();
   double active_cost = 0;  // Σ over active accepted of d·unit_cost
@@ -187,6 +215,130 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
       }
       for (Observer* o : observers_) o->on_replan(res.event);
     }
+
+    // 0b. Substrate failure events for slot t (docs/failures.md): update
+    // the embedder's capacity view, then migrate or drop every embedding
+    // the event broke.  Trace-driven and single-threaded, so runs stay
+    // bit-identical at every thread count.
+    while (next_event < fail_trace.size() &&
+           fail_trace[next_event].slot == t) {
+      const workload::FailureEvent& ev = fail_trace[next_event++];
+      const auto fail_start = Clock::now();
+
+      FailureRecord record;
+      record.event = ev;
+      record.slot = t;
+      const auto capacity_now = [&] {
+        return elem_down[ev.element]
+                   ? 0.0
+                   : substrate_.element_capacity(ev.element) *
+                         elem_factor[ev.element];
+      };
+      record.capacity_before = capacity_now();
+      switch (ev.kind) {
+        case workload::FailureKind::NodeDown:
+        case workload::FailureKind::LinkDown:
+          elem_down[ev.element] = 1;
+          break;
+        case workload::FailureKind::NodeUp:
+        case workload::FailureKind::LinkUp:
+          elem_down[ev.element] = 0;
+          break;
+        case workload::FailureKind::Rescale:
+          elem_factor[ev.element] = ev.factor;
+          break;
+      }
+      record.capacity_after = capacity_now();
+      OLIVE_REQUIRE(
+          algo.set_element_capacity(ev.element, record.capacity_after),
+          "embedder does not support substrate dynamics "
+          "(set_element_capacity)");
+      metrics.failures += 1;
+
+      // Embeddings broken by the event: everything touching a down
+      // element; for a rescale, the newest allocations that keep the
+      // element over-committed.
+      std::vector<int> broken;
+      const bool went_down = ev.kind == workload::FailureKind::NodeDown ||
+                             ev.kind == workload::FailureKind::LinkDown;
+      if (went_down) {
+        for (const auto& [id, inf] : info)
+          if (inf.accepted && usage_on(inf.usage, ev.element) > 0)
+            broken.push_back(id);
+        std::sort(broken.begin(), broken.end());
+      } else if (ev.kind == workload::FailureKind::Rescale &&
+                 algo.load().residual(ev.element) < -1e-6) {
+        std::vector<int> touching;
+        for (const auto& [id, inf] : info)
+          if (inf.accepted && usage_on(inf.usage, ev.element) > 0)
+            touching.push_back(id);
+        // Newest allocations are broken first until the element is
+        // feasible again (older allocations keep their service).
+        std::sort(touching.begin(), touching.end(), std::greater<>());
+        double residual = algo.load().residual(ev.element);
+        for (const int id : touching) {
+          if (residual >= -1e-6) break;
+          broken.push_back(id);
+          residual += usage_on(info.at(id).usage, ev.element) *
+                      info.at(id).req->demand;
+        }
+        std::sort(broken.begin(), broken.end());  // repairs run in id order
+      }
+
+      // Evict every broken allocation first, then repair in id order —
+      // each migration prices against the fully freed residual.
+      for (const int id : broken) {
+        const Info& inf = info.at(id);
+        algo.depart(*inf.req);
+        active_cost -= inf.req->demand * inf.unit_cost;
+      }
+      record.affected = static_cast<int>(broken.size());
+      metrics.failure_hit += record.affected;
+      const bool migrate =
+          config_.failures.repair == FailureHandling::Repair::Migrate;
+      for (const int id : broken) {
+        Info& inf = info.at(id);
+        const workload::Request& vr = *inf.req;
+        bool repaired = false;
+        if (migrate) {
+          if (auto moved =
+                  migrator.repair(vr, inf.embedding, algo.load())) {
+            if (auto out = algo.adopt(vr, *moved)) {
+              // adopt must fit the residuals as-is (no preemption) — the
+              // engine has no accounting for victims it didn't see.
+              OLIVE_ASSERT(out->preempted_ids.empty());
+              inf.unit_cost = out->unit_cost;
+              inf.usage = std::move(out->usage);
+              inf.embedding = std::move(out->embedding);
+              active_cost += vr.demand * inf.unit_cost;
+              metrics.migrations += 1;
+              record.migrated += 1;
+              repaired = true;
+            }
+          }
+        }
+        if (repaired) continue;
+        // SLA violation: the embedding is gone for good (the request is
+        // never reconsidered), accounted like a preemption.
+        inf.accepted = false;
+        metrics.sla_violations += 1;
+        record.dropped += 1;
+        const int varr = vr.arrival - base;
+        const int vdep = std::min(varr + vr.duration, n_slots);
+        alloc_diff[t] -= vr.demand;
+        alloc_diff[vdep] += vr.demand;
+        tally.preempted(vr, varr);
+        if (sim.record_requests) {
+          const auto it = record_index.find(id);
+          if (it != record_index.end())
+            metrics.records[it->second].preempted_at = t;
+        }
+      }
+      replan.note_failure_impact(record.affected);
+      metrics.algo_seconds += seconds_since(fail_start);
+      for (Observer* o : observers_) o->on_failure(record);
+    }
+
     // Launch only while the install slot still falls inside this run.
     if (replan.wants_launch(t) &&
         t + config_.replan.install_delay < n_slots) {
@@ -224,10 +376,15 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
 
       if (!outcome.accepted()) {
         tally.rejected(r, t);
-        info[r.id] = Info{&r, false, 0.0};
+        info[r.id] = Info{&r, false, 0.0, {}, {}};
         continue;
       }
-      info[r.id] = Info{&r, true, outcome.unit_cost};
+      Info accepted_info{&r, true, outcome.unit_cost, {}, {}};
+      if (dynamics) {
+        accepted_info.usage = outcome.usage;
+        accepted_info.embedding = outcome.embedding;
+      }
+      info[r.id] = std::move(accepted_info);
       active_cost += r.demand * outcome.unit_cost;
       const int dep = std::min(t + r.duration, n_slots);
       alloc_diff[t] += r.demand;
@@ -274,6 +431,11 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
 SimMetrics Engine::run_slotoff(const workload::Trace& trace,
                                const core::PlanVneConfig& plan_config,
                                bool warm_start) {
+  // The per-slot OFF-VNE master prices against nominal substrate
+  // capacities, so it cannot honor a shrunk capacity view yet (ROADMAP
+  // open item; see docs/failures.md).
+  OLIVE_REQUIRE(config_.failures.trace.empty(),
+                "substrate dynamics are not supported by run_slotoff");
   const SimulatorConfig& sim = config_.sim;
   SimMetrics metrics;
   metrics.algorithm = "SlotOff";

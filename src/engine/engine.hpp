@@ -2,8 +2,10 @@
 //
 // Engine owns the discrete-time simulation the paper's §IV experiments run
 // on — per slot: (optional) plan hot-swap at the deterministic re-plan
-// boundary, releases of departing requests, this slot's arrivals in trace
-// order, then metric accrual — and exposes it twice:
+// boundary, substrate failure/recovery events with migration-based repair
+// (EngineConfig::failures, docs/failures.md), releases of departing
+// requests, this slot's arrivals in trace order, then metric accrual — and
+// exposes it twice:
 //
 //  * run(algo, trace)        — the ON-VNE loop for per-request embedders
 //                              (OLIVE / QUICKG / FULLG / any plugin);
@@ -11,8 +13,8 @@
 //                              re-solve loop.
 //
 // Observers hook the loop without perturbing it (`on_slot_begin`,
-// `on_outcome`, `on_replan`); a ReplanPolicy (engine/replan.hpp) makes the
-// run re-plan mid-flight.  The legacy free functions `core::run_online` /
+// `on_outcome`, `on_replan`, `on_failure`); a ReplanPolicy
+// (engine/replan.hpp) makes the run re-plan mid-flight.  The legacy free functions `core::run_online` /
 // `core::run_slotoff` and the string-dispatch `core::run_algorithm` are thin
 // wrappers over this class and the EmbedderRegistry (engine/registry.hpp).
 //
@@ -31,9 +33,21 @@
 #include "engine/replan.hpp"
 #include "net/substrate.hpp"
 #include "net/vnet.hpp"
+#include "workload/failures.hpp"
 #include "workload/request.hpp"
 
 namespace olive::engine {
+
+/// What one substrate failure event did — the `on_failure` observer payload.
+struct FailureRecord {
+  workload::FailureEvent event;
+  int slot = 0;                ///< slot the event was applied at
+  double capacity_before = 0;  ///< element capacity before / after the event
+  double capacity_after = 0;
+  int affected = 0;  ///< active embeddings the event broke
+  int migrated = 0;  ///< repaired by core::Migrator
+  int dropped = 0;   ///< SLA violations (affected - migrated)
+};
 
 /// Event-loop hooks.  Default implementations do nothing; observers must
 /// not mutate engine or embedder state (they see it, they do not steer it).
@@ -55,6 +69,24 @@ class Observer {
   /// A re-plan reached its install slot (fires whether or not the embedder
   /// accepted the plan — see ReplanEvent::installed).
   virtual void on_replan(const ReplanEvent& event) { (void)event; }
+
+  /// A substrate failure event was applied (after its broken embeddings
+  /// were migrated or dropped).
+  virtual void on_failure(const FailureRecord& record) { (void)record; }
+};
+
+/// How Engine::run reacts to substrate capacity events.
+struct FailureHandling {
+  /// Events applied at slot boundaries (slot 0 = the first trace slot),
+  /// after a pending re-plan install but before the slot's releases and
+  /// arrivals.  Empty (the default) disables substrate dynamics entirely.
+  workload::FailureTrace trace;
+  enum class Repair {
+    Drop,     ///< every broken embedding is an SLA violation
+    Migrate,  ///< core::Migrator re-embeds against residual capacity;
+              ///< only unrepairable embeddings are dropped
+  };
+  Repair repair = Repair::Migrate;
 };
 
 struct EngineConfig {
@@ -62,6 +94,9 @@ struct EngineConfig {
   /// Mid-run re-planning; `replan.period == 0` (the default) disables it
   /// and makes Engine::run bit-identical to the pre-engine run_online.
   ReplanConfig replan;
+  /// Substrate failure/recovery dynamics (Engine::run only; run_slotoff
+  /// rejects a non-empty trace — see docs/failures.md).
+  FailureHandling failures;
 };
 
 class Engine {

@@ -29,11 +29,14 @@ ReplanPolicy::~ReplanPolicy() {
 }
 
 bool ReplanPolicy::wants_launch(int slot) const noexcept {
-  return enabled() && !pending_ && slot > 0 && slot % config_.period == 0;
+  if (!enabled() || pending_ || slot <= 0) return false;
+  if (slot % config_.period == 0) return true;
+  return config_.failure_burst > 0 && failure_hits_ >= config_.failure_burst;
 }
 
 void ReplanPolicy::launch(const workload::Trace& trace, int base, int slot) {
   OLIVE_ASSERT(!pending_);
+  failure_hits_ = 0;  // the burst trigger re-arms per launch attempt
   const int window = config_.window > 0 ? config_.window : config_.period;
   const int from = std::max(0, slot - window);
 

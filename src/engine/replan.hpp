@@ -55,6 +55,12 @@ struct ReplanConfig {
   bool warm_start = true;
   /// Seed of the bootstrap streams (forked per re-plan sequence number).
   std::uint64_t seed = 1;
+  /// >= 1: a failure burst — this many failure-hit embeddings since the
+  /// last launch — triggers an early re-plan at the next slot boundary
+  /// (at most one solve stays in flight; the install slot is still
+  /// launch + install_delay, so runs remain deterministic).  0 disables
+  /// the trigger: only the fixed period launches.
+  int failure_burst = 0;
 };
 
 /// What one re-plan did — the `on_replan` observer payload.
@@ -105,6 +111,11 @@ class ReplanPolicy {
   /// refuses `install_plan`).
   void disable() noexcept { disabled_ = true; }
 
+  /// Failure-hit embeddings observed since the last launch (the engine
+  /// reports every failure event's impact); drives the `failure_burst`
+  /// early-launch trigger.
+  void note_failure_impact(int broken) noexcept { failure_hits_ += broken; }
+
  private:
   struct Pending {
     int install_slot = 0;
@@ -118,6 +129,7 @@ class ReplanPolicy {
   core::PlanWarmStart warm_;
   std::optional<Pending> pending_;
   int sequence_ = 0;
+  int failure_hits_ = 0;  ///< since the last launch (failure_burst trigger)
   bool disabled_ = false;
 };
 

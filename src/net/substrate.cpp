@@ -52,6 +52,16 @@ double SubstrateNetwork::element_cost(int e) const {
   return element_is_node(e) ? node(e).cost : link(e - num_nodes()).cost;
 }
 
+void SubstrateNetwork::set_element_capacity(int e, double capacity) {
+  OLIVE_REQUIRE(e >= 0 && e < element_count(), "element index out of range");
+  OLIVE_REQUIRE(capacity >= 0, "element capacity must be non-negative");
+  if (element_is_node(e)) {
+    nodes_[e].capacity = capacity;
+  } else {
+    links_[e - num_nodes()].capacity = capacity;
+  }
+}
+
 std::string SubstrateNetwork::element_name(int e) const {
   if (element_is_node(e)) return node(e).name;
   const SubstrateLink& l = link(e - num_nodes());

@@ -68,6 +68,10 @@ class SubstrateNetwork {
   double element_capacity(int e) const;
   double element_cost(int e) const;
   std::string element_name(int e) const;
+  /// Sets an element's nominal capacity (scenario editing / tests).  The
+  /// per-run *dynamic* capacity under failures lives in core::LoadTracker,
+  /// which copies these nominal values at reset.
+  void set_element_capacity(int e, double capacity);
 
   std::vector<NodeId> nodes_in_tier(Tier t) const;
   double total_capacity_in_tier(Tier t) const;

@@ -1,0 +1,157 @@
+#include "workload/failures.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/distributions.hpp"
+#include "util/error.hpp"
+
+namespace olive::workload {
+
+const char* to_string(FailureKind k) noexcept {
+  switch (k) {
+    case FailureKind::NodeDown: return "node_down";
+    case FailureKind::NodeUp: return "node_up";
+    case FailureKind::LinkDown: return "link_down";
+    case FailureKind::LinkUp: return "link_up";
+    case FailureKind::Rescale: return "rescale";
+  }
+  return "?";
+}
+
+void validate_failure_trace(const FailureTrace& trace,
+                            const net::SubstrateNetwork& substrate) {
+  int prev_slot = 0;
+  for (const FailureEvent& ev : trace) {
+    OLIVE_REQUIRE(ev.slot >= 0, "failure event slot must be >= 0");
+    OLIVE_REQUIRE(ev.slot >= prev_slot, "failure trace must be slot-sorted");
+    prev_slot = ev.slot;
+    OLIVE_REQUIRE(ev.element >= 0 && ev.element < substrate.element_count(),
+                  "failure event element out of range");
+    const bool is_node = substrate.element_is_node(ev.element);
+    switch (ev.kind) {
+      case FailureKind::NodeDown:
+      case FailureKind::NodeUp:
+        OLIVE_REQUIRE(is_node, "node event against a link element");
+        break;
+      case FailureKind::LinkDown:
+      case FailureKind::LinkUp:
+        OLIVE_REQUIRE(!is_node, "link event against a node element");
+        break;
+      case FailureKind::Rescale:
+        OLIVE_REQUIRE(ev.factor >= 0, "rescale factor must be >= 0");
+        break;
+    }
+  }
+}
+
+namespace {
+
+/// Outage length in slots: 1 + an exponential tail, mean ~= repair_mean.
+int draw_outage(Rng& rng, double repair_mean) {
+  const double tail = std::max(0.0, repair_mean - 1.0);
+  if (tail == 0) return 1;
+  return 1 + static_cast<int>(std::floor(sample_exponential(rng, tail)));
+}
+
+}  // namespace
+
+FailureTrace generate_failure_trace(const net::SubstrateNetwork& substrate,
+                                    const FailureConfig& config, int horizon,
+                                    Rng& rng) {
+  OLIVE_REQUIRE(horizon >= 0, "failure horizon must be >= 0");
+  OLIVE_REQUIRE(config.node_mtbf >= 0 && config.link_mtbf >= 0,
+                "MTBF must be >= 0");
+  OLIVE_REQUIRE(config.repair_mean >= 1, "repair_mean must be >= 1 slot");
+  OLIVE_REQUIRE(
+      config.max_down_fraction >= 0 && config.max_down_fraction <= 1,
+      "max_down_fraction must be in [0, 1]");
+  OLIVE_REQUIRE(config.rescale_rate >= 0 && config.rescale_rate <= 1,
+                "rescale_rate must be in [0, 1]");
+  OLIVE_REQUIRE(0 <= config.rescale_min &&
+                    config.rescale_min <= config.rescale_max,
+                "rescale factor range must satisfy 0 <= min <= max");
+
+  FailureTrace trace;
+  if (!config.enabled() || horizon == 0) return trace;
+
+  std::vector<int> nodes;
+  for (net::NodeId v = 0; v < substrate.num_nodes(); ++v) {
+    if (!config.fail_edge && substrate.node(v).tier == net::Tier::Edge)
+      continue;
+    nodes.push_back(v);
+  }
+  std::vector<int> links;
+  for (net::LinkId l = 0; l < substrate.num_links(); ++l)
+    links.push_back(substrate.link_element(l));
+
+  // up_at[element] = first slot the element is up again (0 = up now).
+  std::vector<int> up_at(substrate.element_count(), 0);
+  int nodes_down = 0, links_down = 0;
+
+  const int from = std::max(0, config.from_slot);
+  const int to =
+      config.to_slot < 0 ? horizon : std::min(config.to_slot, horizon);
+
+  // One slot at a time, elements in ascending order, node failures before
+  // link failures before the rescale draw — a fixed RNG consumption order,
+  // so the stream is bit-reproducible.
+  for (int t = from; t < to; ++t) {
+    const auto sweep = [&](const std::vector<int>& elems, double mtbf,
+                           int& down_count, FailureKind down,
+                           FailureKind up) {
+      if (mtbf <= 0) return;
+      const double hazard = 1.0 / mtbf;
+      const int max_down = static_cast<int>(
+          std::floor(config.max_down_fraction * elems.size()));
+      for (const int e : elems) {
+        if (up_at[e] > t) continue;  // still out
+        if (up_at[e] == t && up_at[e] != 0) {
+          trace.push_back({t, up, e, 1.0});
+          up_at[e] = 0;
+          --down_count;
+        }
+        if (!rng.chance(hazard)) continue;
+        if (down_count >= max_down) continue;
+        trace.push_back({t, down, e, 1.0});
+        const int back = t + draw_outage(rng, config.repair_mean);
+        up_at[e] = back < horizon ? back : horizon + 1;  // +1: never recovers
+        ++down_count;
+      }
+    };
+    sweep(nodes, config.node_mtbf, nodes_down, FailureKind::NodeDown,
+          FailureKind::NodeUp);
+    sweep(links, config.link_mtbf, links_down, FailureKind::LinkDown,
+          FailureKind::LinkUp);
+
+    if (config.rescale_rate > 0 && !nodes.empty() &&
+        rng.chance(config.rescale_rate)) {
+      const int e = nodes[rng.below(nodes.size())];
+      const double factor =
+          rng.uniform(config.rescale_min, config.rescale_max);
+      trace.push_back({t, FailureKind::Rescale, e, factor});
+    }
+  }
+
+  // Recoveries scheduled inside (to, horizon) still happen after the last
+  // failure window slot.
+  for (int t = to; t < horizon; ++t) {
+    for (const int e : nodes) {
+      if (up_at[e] == t && up_at[e] != 0) {
+        trace.push_back({t, FailureKind::NodeUp, e, 1.0});
+        up_at[e] = 0;
+        --nodes_down;
+      }
+    }
+    for (const int e : links) {
+      if (up_at[e] == t && up_at[e] != 0) {
+        trace.push_back({t, FailureKind::LinkUp, e, 1.0});
+        up_at[e] = 0;
+        --links_down;
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace olive::workload

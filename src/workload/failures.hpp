@@ -1,0 +1,86 @@
+// Substrate failure/recovery event streams (docs/failures.md).
+//
+// A FailureTrace is a slot-ordered list of capacity events against the
+// substrate: a node or link goes down (capacity 0), comes back up, or is
+// rescaled to a fraction of its nominal capacity (brown-out / partial
+// degradation).  Slots are relative to the engine's test period (slot 0 is
+// the first online slot).  The engine applies each slot's events at the
+// slot boundary, before that slot's releases and arrivals, and drops or
+// migrates the embeddings the events break (engine/engine.hpp).
+//
+// generate_failure_trace draws a deterministic event stream from an Rng:
+// per-slot Bernoulli failures per eligible up element (rate 1/MTBF),
+// geometric outage lengths, and optional capacity-rescale events.  The
+// stream is a pure function of (substrate, config, rng), so runs replaying
+// it are bit-reproducible — the same determinism contract as the trace
+// generator (docs/parallelism.md).
+#pragma once
+
+#include <vector>
+
+#include "net/substrate.hpp"
+#include "util/rng.hpp"
+
+namespace olive::workload {
+
+enum class FailureKind {
+  NodeDown,  ///< node capacity -> 0
+  NodeUp,    ///< node capacity restored (nominal x current rescale factor)
+  LinkDown,  ///< link capacity -> 0
+  LinkUp,    ///< link capacity restored
+  Rescale,   ///< element capacity factor set to `factor` (sticky until reset)
+};
+
+const char* to_string(FailureKind k) noexcept;
+
+struct FailureEvent {
+  int slot = 0;  ///< applied at the beginning of this test-period slot
+  FailureKind kind = FailureKind::NodeDown;
+  int element = -1;    ///< flat element index (nodes first, then links)
+  double factor = 1.0;  ///< Rescale only: new capacity = factor x nominal
+};
+
+/// Events sorted by slot (ties keep generation order, which the engine
+/// preserves when applying them).
+using FailureTrace = std::vector<FailureEvent>;
+
+/// Verifies slot ordering, element ranges, kind/element-type agreement, and
+/// factor sanity; throws InvalidArgument on violation.
+void validate_failure_trace(const FailureTrace& trace,
+                            const net::SubstrateNetwork& substrate);
+
+struct FailureConfig {
+  /// Mean slots between failures per eligible up node/link (per-slot hazard
+  /// 1/MTBF while up).  0 disables that element type's failures.
+  double node_mtbf = 0;
+  double link_mtbf = 0;
+  /// Mean outage length in slots (geometric, >= 1 slot).
+  double repair_mean = 25;
+  /// Edge-tier nodes host the ingresses; sparing them (the default) models
+  /// failures inside the provider core, where migration can actually help.
+  bool fail_edge = false;
+  /// Never take down more than this fraction of the eligible elements of a
+  /// type at once (guards against a dead substrate at high rates).
+  double max_down_fraction = 0.5;
+  /// Per-slot probability of a capacity-rescale event on a random eligible
+  /// node, drawing a factor uniform in [rescale_min, rescale_max).
+  double rescale_rate = 0;
+  double rescale_min = 0.5;
+  double rescale_max = 1.0;
+  /// Slot window events may occur in: [from_slot, to_slot); to_slot < 0
+  /// selects the generation horizon.  Recoveries may land after to_slot.
+  int from_slot = 0;
+  int to_slot = -1;
+
+  bool enabled() const noexcept {
+    return node_mtbf > 0 || link_mtbf > 0 || rescale_rate > 0;
+  }
+};
+
+/// Draws a failure/recovery stream over test-period slots [0, horizon).
+/// Deterministic in `rng`; an all-zero config yields an empty trace.
+FailureTrace generate_failure_trace(const net::SubstrateNetwork& substrate,
+                                    const FailureConfig& config, int horizon,
+                                    Rng& rng);
+
+}  // namespace olive::workload

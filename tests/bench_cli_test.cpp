@@ -1,0 +1,90 @@
+// The shared bench command line must *reject* bad input — unknown flags,
+// missing values, malformed numbers — with a diagnostic instead of silently
+// ignoring it (parse_cli prints the diagnostic plus usage and exits 2).
+// parse_cli_args is the pure, env-free core under test here.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+
+namespace olive::bench {
+namespace {
+
+struct ParseResult {
+  bool ok = false;
+  CliArgs args;
+  std::string error;
+};
+
+ParseResult parse(const std::vector<std::string>& argv) {
+  ParseResult r;
+  r.ok = parse_cli_args(argv, r.args, r.error);
+  return r;
+}
+
+TEST(BenchCli, ParsesEveryKnownFlag) {
+  const auto r = parse({"--scale", "full", "--reps", "7", "--topology",
+                        "Iris", "--algo", "OLIVE", "--json", "/tmp/x.json",
+                        "--threads", "4"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.args.scale_choice, "full");
+  EXPECT_EQ(r.args.reps, 7);
+  EXPECT_EQ(r.args.topology, "Iris");
+  EXPECT_EQ(r.args.algo, "OLIVE");
+  EXPECT_EQ(r.args.json, "/tmp/x.json");
+  EXPECT_EQ(r.args.threads, 4);
+  EXPECT_FALSE(r.args.help);
+}
+
+TEST(BenchCli, EmptyCommandLineIsFine) {
+  const auto r = parse({});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.args.reps, 0);
+  EXPECT_EQ(r.args.threads, 0);
+  EXPECT_TRUE(r.args.scale_choice.empty());
+}
+
+TEST(BenchCli, HelpFlagIsRecognized) {
+  EXPECT_TRUE(parse({"--help"}).args.help);
+  EXPECT_TRUE(parse({"-h"}).args.help);
+}
+
+TEST(BenchCli, RejectsUnknownFlags) {
+  const auto r = parse({"--scale", "quick", "--bogus"});
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown flag"), std::string::npos);
+  EXPECT_NE(r.error.find("--bogus"), std::string::npos);
+  // Positional garbage is just as unknown.
+  EXPECT_FALSE(parse({"Iris"}).ok);
+}
+
+TEST(BenchCli, RejectsMissingValues) {
+  for (const std::string flag :
+       {"--scale", "--reps", "--topology", "--algo", "--json", "--threads"}) {
+    const auto r = parse({flag});
+    ASSERT_FALSE(r.ok) << flag;
+    EXPECT_NE(r.error.find("expects a value"), std::string::npos) << flag;
+  }
+}
+
+TEST(BenchCli, RejectsMalformedScale) {
+  const auto r = parse({"--scale", "medium"});
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("quick|full"), std::string::npos);
+}
+
+TEST(BenchCli, RejectsMalformedNumbers) {
+  for (const std::string flag : {"--reps", "--threads"}) {
+    for (const std::string bad : {"abc", "0", "-3", "4x", ""}) {
+      const auto r = parse({flag, bad});
+      ASSERT_FALSE(r.ok) << flag << " " << bad;
+      EXPECT_NE(r.error.find("positive integer"), std::string::npos)
+          << flag << " " << bad;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace olive::bench

@@ -75,7 +75,7 @@ TEST(EngineEquivalence, RequestDrivenRunsMatchLegacyRunOnline) {
     core::OliveEmbedder engine_algo(sc.substrate, sc.apps,
                                     quickg ? core::Plan::empty() : sc.plan,
                                     quickg ? "QuickG" : "OLIVE");
-    Engine engine(sc.substrate, sc.apps, EngineConfig{sc.config.sim, {}});
+    Engine engine(sc.substrate, sc.apps, EngineConfig{sc.config.sim, {}, {}});
     const core::SimMetrics direct = engine.run(engine_algo, sc.online);
     expect_metrics_identical(legacy, direct);
   }
@@ -100,7 +100,7 @@ TEST(EngineEquivalence, SlotOffRunMatchesLegacyRunSlotOff) {
       core::run_slotoff(sc.substrate, sc.apps, window, so);
   ASSERT_GT(legacy.plan_solves, 0);
 
-  Engine engine(sc.substrate, sc.apps, EngineConfig{so.sim, {}});
+  Engine engine(sc.substrate, sc.apps, EngineConfig{so.sim, {}, {}});
   const core::SimMetrics direct =
       engine.run_slotoff(window, so.plan, so.warm_start);
   expect_metrics_identical(legacy, direct);
@@ -140,7 +140,7 @@ TEST(Registry, RunAlgorithmMatchesDirectEngineUse) {
   const core::Scenario sc = core::build_scenario(small_config());
   const core::SimMetrics by_name = core::run_algorithm(sc, "OLIVE");
   core::OliveEmbedder algo(sc.substrate, sc.apps, sc.plan, "OLIVE");
-  Engine engine(sc.substrate, sc.apps, EngineConfig{sc.config.sim, {}});
+  Engine engine(sc.substrate, sc.apps, EngineConfig{sc.config.sim, {}, {}});
   const core::SimMetrics direct = engine.run(algo, sc.online);
   expect_metrics_identical(by_name, direct);
 }
@@ -167,11 +167,11 @@ TEST(EngineObserver, SeesEverySlotAndOutcomeWithoutPerturbingTheRun) {
 
   core::OliveEmbedder plain(sc.substrate, sc.apps, sc.plan, "OLIVE");
   Engine plain_engine(sc.substrate, sc.apps,
-                      EngineConfig{sc.config.sim, {}});
+                      EngineConfig{sc.config.sim, {}, {}});
   const core::SimMetrics reference = plain_engine.run(plain, sc.online);
 
   core::OliveEmbedder observed(sc.substrate, sc.apps, sc.plan, "OLIVE");
-  Engine engine(sc.substrate, sc.apps, EngineConfig{sc.config.sim, {}});
+  Engine engine(sc.substrate, sc.apps, EngineConfig{sc.config.sim, {}, {}});
   CountingObserver counter;
   engine.add_observer(&counter);
   const core::SimMetrics metrics = engine.run(observed, sc.online);
@@ -219,7 +219,7 @@ TEST(EngineReplan, BeatsTheStaticPlanUnderDriftingUtilization) {
   const core::Scenario sc = core::build_scenario(cfg);
   const core::SimMetrics static_plan = core::run_algorithm(sc, "OLIVE");
 
-  EngineConfig ecfg{cfg.sim, drifting_replan(cfg)};
+  EngineConfig ecfg{cfg.sim, drifting_replan(cfg), {}};
   Engine engine(sc.substrate, sc.apps, ecfg);
   CountingObserver counter;
   engine.add_observer(&counter);
@@ -264,7 +264,7 @@ TEST(EngineReplan, PlanlessEmbedderDisablesThePolicyAfterOneRefusal) {
   const core::ScenarioConfig cfg = small_config();
   const core::Scenario sc = core::build_scenario(cfg);
 
-  EngineConfig ecfg{cfg.sim, {}};
+  EngineConfig ecfg{cfg.sim, {}, {}};
   ecfg.replan.period = 10;
   ecfg.replan.plan = cfg.plan;
   ecfg.replan.plan.max_rounds = 4;

@@ -1,0 +1,329 @@
+// Unit tests for the substrate-dynamics building blocks: the failure-trace
+// generator's determinism and well-formedness, the LoadTracker capacity
+// overlay's safe release accounting, the Migrator's staged repair, and the
+// engine-level event semantics (docs/failures.md).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/load.hpp"
+#include "core/migrator.hpp"
+#include "core/olive.hpp"
+#include "core/scenario.hpp"
+#include "engine/engine.hpp"
+#include "net/embedding.hpp"
+#include "topo/topologies.hpp"
+#include "util/error.hpp"
+#include "workload/failures.hpp"
+
+namespace olive {
+namespace {
+
+net::SubstrateNetwork tiny_substrate() {
+  net::SubstrateNetwork s;
+  // edge0 - tr0 - tr1, with an alternate edge0 - tr1 detour link.
+  s.add_node({"edge0", net::Tier::Edge, 100, 1.0, false});
+  s.add_node({"tr0", net::Tier::Transport, 200, 2.0, false});
+  s.add_node({"tr1", net::Tier::Transport, 200, 3.0, false});
+  s.add_link(0, 1, 100, 1.0);
+  s.add_link(1, 2, 100, 1.0);
+  s.add_link(0, 2, 100, 5.0);
+  return s;
+}
+
+TEST(FailureTrace, GeneratorIsDeterministicAndWellFormed) {
+  Rng topo_rng(7);
+  const net::SubstrateNetwork s = topo::iris(topo_rng);
+  workload::FailureConfig cfg;
+  cfg.node_mtbf = 300;
+  cfg.link_mtbf = 500;
+  cfg.repair_mean = 20;
+  cfg.rescale_rate = 0.05;
+
+  Rng a(42), b(42), c(43);
+  const auto trace_a = workload::generate_failure_trace(s, cfg, 400, a);
+  const auto trace_b = workload::generate_failure_trace(s, cfg, 400, b);
+  ASSERT_FALSE(trace_a.empty());
+  ASSERT_EQ(trace_a.size(), trace_b.size());
+  for (std::size_t i = 0; i < trace_a.size(); ++i) {
+    EXPECT_EQ(trace_a[i].slot, trace_b[i].slot);
+    EXPECT_EQ(trace_a[i].kind, trace_b[i].kind);
+    EXPECT_EQ(trace_a[i].element, trace_b[i].element);
+    EXPECT_EQ(trace_a[i].factor, trace_b[i].factor);
+  }
+  // A different seed draws a different stream.
+  const auto trace_c = workload::generate_failure_trace(s, cfg, 400, c);
+  bool differs = trace_a.size() != trace_c.size();
+  for (std::size_t i = 0; !differs && i < trace_a.size(); ++i)
+    differs = trace_a[i].slot != trace_c[i].slot ||
+              trace_a[i].kind != trace_c[i].kind ||
+              trace_a[i].element != trace_c[i].element;
+  EXPECT_TRUE(differs);
+
+  EXPECT_NO_THROW(workload::validate_failure_trace(trace_a, s));
+
+  // Well-formedness: downs and ups alternate per element, edge nodes are
+  // spared by default, and every slot is inside the horizon.
+  std::set<int> down;
+  for (const auto& ev : trace_a) {
+    EXPECT_GE(ev.slot, 0);
+    EXPECT_LT(ev.slot, 400);
+    switch (ev.kind) {
+      case workload::FailureKind::NodeDown:
+        EXPECT_NE(s.node(ev.element).tier, net::Tier::Edge);
+        [[fallthrough]];
+      case workload::FailureKind::LinkDown:
+        EXPECT_TRUE(down.insert(ev.element).second) << "double down";
+        break;
+      case workload::FailureKind::NodeUp:
+      case workload::FailureKind::LinkUp:
+        EXPECT_EQ(down.erase(ev.element), 1u) << "up without down";
+        break;
+      case workload::FailureKind::Rescale:
+        EXPECT_GE(ev.factor, cfg.rescale_min);
+        EXPECT_LT(ev.factor, cfg.rescale_max);
+        break;
+    }
+  }
+}
+
+TEST(FailureTrace, DisabledConfigYieldsEmptyTrace) {
+  Rng topo_rng(7);
+  const net::SubstrateNetwork s = topo::iris(topo_rng);
+  Rng rng(1);
+  EXPECT_TRUE(workload::generate_failure_trace(s, {}, 500, rng).empty());
+}
+
+TEST(FailureTrace, ValidateRejectsMalformedEvents) {
+  const net::SubstrateNetwork s = tiny_substrate();
+  using K = workload::FailureKind;
+  const workload::FailureTrace negative_slot{{-1, K::NodeDown, 0, 1.0}};
+  EXPECT_THROW(workload::validate_failure_trace(negative_slot, s),
+               InvalidArgument);
+  const workload::FailureTrace unsorted{{5, K::NodeDown, 0, 1.0},
+                                        {4, K::NodeUp, 0, 1.0}};
+  EXPECT_THROW(workload::validate_failure_trace(unsorted, s),
+               InvalidArgument);
+  const workload::FailureTrace out_of_range{{0, K::NodeDown, 99, 1.0}};
+  EXPECT_THROW(workload::validate_failure_trace(out_of_range, s),
+               InvalidArgument);
+  // Kind/element-type mismatch: element 0 is a node, element 3 a link.
+  const workload::FailureTrace link_kind_on_node{{0, K::LinkDown, 0, 1.0}};
+  EXPECT_THROW(workload::validate_failure_trace(link_kind_on_node, s),
+               InvalidArgument);
+  const workload::FailureTrace node_kind_on_link{{0, K::NodeDown, 3, 1.0}};
+  EXPECT_THROW(workload::validate_failure_trace(node_kind_on_link, s),
+               InvalidArgument);
+  const workload::FailureTrace bad_factor{{0, K::Rescale, 0, -0.5}};
+  EXPECT_THROW(workload::validate_failure_trace(bad_factor, s),
+               InvalidArgument);
+}
+
+TEST(LoadTrackerDynamics, CapacityOverlayAndSafeRelease) {
+  const net::SubstrateNetwork s = tiny_substrate();
+  core::LoadTracker load(s);
+  const core::Usage usage{{1, 1.0}};  // one unit of tr0 per demand unit
+
+  EXPECT_DOUBLE_EQ(load.capacity(1), 200);
+  load.apply(usage, 150);
+  EXPECT_DOUBLE_EQ(load.used(1), 150);
+  EXPECT_DOUBLE_EQ(load.residual(1), 50);
+
+  // A failure shrinks capacity below the committed load: the residual goes
+  // negative, used stays intact, and nothing new fits the element.
+  load.set_capacity(1, 100);
+  EXPECT_DOUBLE_EQ(load.capacity(1), 100);
+  EXPECT_DOUBLE_EQ(load.used(1), 150);
+  EXPECT_DOUBLE_EQ(load.residual(1), -50);
+  EXPECT_FALSE(load.fits(usage, 1));
+
+  // Safe release accounting: releasing across the capacity change is exact.
+  load.release(usage, 150);
+  EXPECT_DOUBLE_EQ(load.used(1), 0);
+  EXPECT_DOUBLE_EQ(load.residual(1), 100);
+
+  // Recovery restores the nominal capacity; reset clears the overlay too.
+  load.set_capacity(1, 0);
+  EXPECT_DOUBLE_EQ(load.residual(1), 0);
+  load.reset();
+  EXPECT_DOUBLE_EQ(load.capacity(1), 200);
+  EXPECT_DOUBLE_EQ(load.residual(1), 200);
+}
+
+TEST(Substrate, SetElementCapacity) {
+  net::SubstrateNetwork s = tiny_substrate();
+  s.set_element_capacity(1, 42);
+  EXPECT_DOUBLE_EQ(s.node(1).capacity, 42);
+  s.set_element_capacity(s.link_element(0), 7);
+  EXPECT_DOUBLE_EQ(s.link(0).capacity, 7);
+  EXPECT_THROW(s.set_element_capacity(99, 1), InvalidArgument);
+  EXPECT_THROW(s.set_element_capacity(0, -1), InvalidArgument);
+}
+
+/// One app: user -> one VNF of size 10 with a link of size 5.
+std::vector<net::Application> one_app() {
+  return {{"app", net::VirtualNetwork::chain({10}, {5})}};
+}
+
+TEST(Migrator, PathPatchKeepsPlacementsAndReroutes) {
+  const net::SubstrateNetwork s = tiny_substrate();
+  const auto apps = one_app();
+  core::LoadTracker load(s);
+
+  // VNF on tr1, path edge0 -> tr0 -> tr1 (links 0, 1).
+  net::Embedding broken;
+  broken.node_map = {0, 2};
+  broken.link_paths = {{0, 1}};
+  ASSERT_TRUE(net::is_valid_embedding(s, apps[0].topology, broken));
+
+  workload::Request r;
+  r.id = 1;
+  r.app = 0;
+  r.ingress = 0;
+  r.demand = 2;
+
+  // Kill link tr0-tr1 (element 4): the placement survives, the path must
+  // detour over the direct edge0-tr1 link.
+  load.set_capacity(4, 0);
+  core::Migrator migrator(s, apps);
+  const auto repaired = migrator.repair(r, broken, load);
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_EQ(repaired->node_map, broken.node_map);
+  EXPECT_EQ(repaired->link_paths[0], std::vector<net::LinkId>{2});
+  EXPECT_TRUE(net::is_valid_embedding(s, apps[0].topology, *repaired));
+  EXPECT_EQ(migrator.stats().path_patches, 1);
+  EXPECT_EQ(migrator.stats().reembeds, 0);
+}
+
+TEST(Migrator, ReembedsWhenThePlacementItselfDied) {
+  const net::SubstrateNetwork s = tiny_substrate();
+  const auto apps = one_app();
+  core::LoadTracker load(s);
+
+  net::Embedding broken;
+  broken.node_map = {0, 2};
+  broken.link_paths = {{0, 1}};
+
+  workload::Request r;
+  r.id = 1;
+  r.app = 0;
+  r.ingress = 0;
+  r.demand = 2;
+
+  // Kill the hosting node tr1: patching is impossible, the re-embed must
+  // move the VNF elsewhere (tr0 or edge0).
+  load.set_capacity(2, 0);
+  core::Migrator migrator(s, apps);
+  const auto repaired = migrator.repair(r, broken, load);
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_NE(repaired->node_map[1], 2);
+  EXPECT_TRUE(net::is_valid_embedding(s, apps[0].topology, *repaired));
+  EXPECT_EQ(migrator.stats().reembeds, 1);
+
+  // With every candidate host dead, repair must report failure.
+  load.set_capacity(0, 0);
+  load.set_capacity(1, 0);
+  EXPECT_FALSE(migrator.repair(r, broken, load).has_value());
+  EXPECT_EQ(migrator.stats().failures, 1);
+}
+
+TEST(EngineFailures, DropAndMigrateSemantics) {
+  // Scenario-level smoke: the same failure stream under both repair
+  // policies.  Migration must recover embeddings (fewer SLA violations, no
+  // lost accounting), and every counter must reconcile.
+  core::ScenarioConfig cfg;
+  cfg.topology = "Iris";
+  cfg.seed = 7;
+  cfg.trace.horizon = 400;
+  cfg.trace.plan_slots = 300;
+  cfg.sim.measure_from = 10;
+  cfg.sim.measure_to = 60;
+  cfg.failures.node_mtbf = 300;
+  cfg.failures.link_mtbf = 600;
+  cfg.failures.repair_mean = 20;
+  const core::Scenario sc = core::build_scenario(cfg);
+  ASSERT_FALSE(sc.failure_trace.empty());
+
+  cfg.failure_migrate = true;
+  core::Scenario migrate_sc = core::build_scenario(cfg);
+  const core::SimMetrics migrate = core::run_algorithm(migrate_sc, "OLIVE");
+
+  cfg.failure_migrate = false;
+  core::Scenario drop_sc = core::build_scenario(cfg);
+  const core::SimMetrics drop = core::run_algorithm(drop_sc, "OLIVE");
+
+  EXPECT_GT(migrate.failures, 0);
+  EXPECT_EQ(migrate.failures, drop.failures);
+  EXPECT_GT(migrate.failure_hit, 0);
+  EXPECT_GT(migrate.migrations, 0);
+  EXPECT_EQ(migrate.migrations + migrate.sla_violations,
+            migrate.failure_hit);
+  EXPECT_EQ(drop.migrations, 0);
+  EXPECT_EQ(drop.sla_violations, drop.failure_hit);
+  EXPECT_LT(migrate.sla_violations, drop.sla_violations);
+
+  // A failure-free run of the same scenario reports zeroed dynamics.
+  core::ScenarioConfig calm = cfg;
+  calm.failures = {};
+  const core::SimMetrics none =
+      core::run_algorithm(core::build_scenario(calm), "OLIVE");
+  EXPECT_EQ(none.failures, 0);
+  EXPECT_EQ(none.failure_hit, 0);
+  EXPECT_EQ(none.migrations, 0);
+  EXPECT_EQ(none.sla_violations, 0);
+}
+
+TEST(EngineFailures, SlotOffRejectsFailureTraces) {
+  core::ScenarioConfig cfg;
+  cfg.topology = "Iris";
+  cfg.seed = 7;
+  cfg.trace.horizon = 350;
+  cfg.trace.plan_slots = 300;
+  cfg.sim.measure_from = 0;
+  cfg.sim.measure_to = 20;
+  cfg.sim.drain_slots = 0;
+  cfg.failures.node_mtbf = 100;
+  const core::Scenario sc = core::build_scenario(cfg);
+  ASSERT_FALSE(sc.failure_trace.empty());
+  EXPECT_THROW(core::run_algorithm(sc, "SlotOff"), InvalidArgument);
+}
+
+/// A planless embedder must make the engine refuse substrate dynamics
+/// instead of silently ignoring capacity changes.
+struct StaticEmbedder final : core::OnlineEmbedder {
+  core::LoadTracker load_;
+  explicit StaticEmbedder(const net::SubstrateNetwork& s) : load_(s) {}
+  std::string name() const override { return "static"; }
+  void reset() override {}
+  core::EmbedOutcome embed(const workload::Request&) override { return {}; }
+  void depart(const workload::Request&) override {}
+  const core::LoadTracker& load() const override { return load_; }
+};
+
+TEST(EngineFailures, UnsupportingEmbedderIsRejected) {
+  Rng topo_rng(7);
+  const net::SubstrateNetwork s = topo::iris(topo_rng);
+  const auto apps = one_app();
+  engine::EngineConfig ecfg;
+  ecfg.sim.measure_from = 0;
+  ecfg.sim.measure_to = 10;
+  ecfg.sim.drain_slots = 0;
+  ecfg.failures.trace = {{0, workload::FailureKind::NodeDown,
+                          s.nodes_in_tier(net::Tier::Transport).front(),
+                          1.0}};
+  engine::Engine eng(s, apps, ecfg);
+  StaticEmbedder algo(s);
+  workload::Trace trace;
+  workload::Request r;
+  r.id = 0;
+  r.arrival = 0;
+  r.duration = 1;
+  r.ingress = s.nodes_in_tier(net::Tier::Edge).front();
+  r.app = 0;
+  r.demand = 1;
+  trace.push_back(r);
+  EXPECT_THROW(eng.run(algo, trace), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace olive

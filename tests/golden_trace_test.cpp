@@ -116,7 +116,7 @@ TEST(GoldenTrace, EngineDrivenSlotOffReproducesTheGoldenWindow) {
   // reproduces every golden number bit-for-bit while ReplanPolicy is off.
   const GoldenScenario g = golden_scenario();
   const SlotOffConfig so = golden_config();
-  engine::Engine eng(g.substrate, g.apps, engine::EngineConfig{so.sim, {}});
+  engine::Engine eng(g.substrate, g.apps, engine::EngineConfig{so.sim, {}, {}});
   const SimMetrics m = eng.run_slotoff(g.trace, so.plan, so.warm_start);
   expect_golden_outcomes(m);
   EXPECT_EQ(m.plan_warm_start_hits, 9);

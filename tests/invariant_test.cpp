@@ -1,0 +1,172 @@
+// Simulation-level invariant checker (own CTest label: `invariants`).
+//
+// An observer reconciles the embedder's whole state against first
+// principles after every slot of an engine-driven run:
+//
+//   1. no over-commitment — committed load never exceeds the element's
+//      *current* (possibly failed/rescaled) capacity;
+//   2. release/allocate conservation — the LoadTracker's committed load is
+//      exactly the sum of the active allocations' usage, element by element
+//      (so every apply has a matching release, across preemptions,
+//      migrations, plan swaps, and failures);
+//   3. embedding validity — every active embedding maps onto existing
+//      substrate paths (connectivity) and touches only elements that still
+//      have capacity.
+//
+// The suite sweeps Iris / CittaStudi / FatTree4, each with and without a
+// failure stream (migration repair on), plus a drop-only and an
+// edge-failure stress case.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/olive.hpp"
+#include "core/scenario.hpp"
+#include "engine/engine.hpp"
+#include "net/embedding.hpp"
+
+namespace olive {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+/// Checks the three invariant families against an OliveEmbedder.  Runs at
+/// every slot boundary (state after the previous slot is fully processed)
+/// and once more after the run.
+class InvariantChecker final : public engine::Observer {
+ public:
+  InvariantChecker(const core::OliveEmbedder& algo,
+                   const net::SubstrateNetwork& substrate,
+                   const std::vector<net::Application>& apps)
+      : algo_(algo), substrate_(substrate), apps_(apps) {}
+
+  int checks_run = 0;
+
+  void on_slot_begin(int slot) override { check(slot); }
+
+  void check(int slot) {
+    ++checks_run;
+    const core::LoadTracker& load = algo_.load();
+    const auto active = algo_.active_allocations();
+
+    // 2. Conservation: recompute the committed load from scratch.
+    std::vector<double> used(substrate_.element_count(), 0.0);
+    for (const auto& a : active)
+      for (const auto& [elem, amount] : a.usage)
+        used[elem] += amount * a.demand;
+    for (int e = 0; e < substrate_.element_count(); ++e) {
+      ASSERT_NEAR(load.used(e), used[e], kTol)
+          << "conservation broken at slot " << slot << " on "
+          << substrate_.element_name(e);
+      // 1. Over-commitment against the current capacity.
+      ASSERT_LE(used[e], load.capacity(e) + kTol)
+          << "over-committed at slot " << slot << " on "
+          << substrate_.element_name(e);
+      ASSERT_GE(used[e], -kTol);
+      // The cached residual must stay consistent with the split.
+      ASSERT_NEAR(load.residual(e), load.capacity(e) - load.used(e), kTol);
+    }
+
+    // 3. Every active embedding is structurally valid and fully alive.
+    for (const auto& a : active) {
+      ASSERT_GE(a.app, 0);
+      ASSERT_LT(a.app, static_cast<int>(apps_.size()));
+      ASSERT_TRUE(net::is_valid_embedding(substrate_, apps_[a.app].topology,
+                                          a.embedding))
+          << "invalid embedding for request " << a.id << " at slot " << slot;
+      for (const auto& [elem, amount] : a.usage) {
+        if (amount <= 0) continue;
+        ASSERT_GT(load.capacity(elem), 0)
+            << "request " << a.id << " occupies dead element "
+            << substrate_.element_name(elem) << " at slot " << slot;
+      }
+    }
+  }
+
+ private:
+  const core::OliveEmbedder& algo_;
+  const net::SubstrateNetwork& substrate_;
+  const std::vector<net::Application>& apps_;
+};
+
+struct CaseConfig {
+  std::string topology;
+  bool failures = false;
+  bool fail_edge = false;
+  bool migrate = true;
+};
+
+core::SimMetrics run_checked(const CaseConfig& cc, int* checks_out) {
+  core::ScenarioConfig cfg;
+  cfg.topology = cc.topology;
+  cfg.seed = 7;
+  cfg.trace.horizon = 320;
+  cfg.trace.plan_slots = 220;
+  cfg.sim.measure_from = 10;
+  cfg.sim.measure_to = 70;
+  cfg.sim.drain_slots = 30;
+  if (cc.failures) {
+    cfg.failures.node_mtbf = 250;
+    cfg.failures.link_mtbf = 400;
+    cfg.failures.repair_mean = 15;
+    cfg.failures.rescale_rate = 0.05;
+    cfg.failures.fail_edge = cc.fail_edge;
+  }
+  const core::Scenario sc = core::build_scenario(cfg);
+
+  engine::EngineConfig ecfg;
+  ecfg.sim = cfg.sim;
+  ecfg.failures.trace = sc.failure_trace;
+  ecfg.failures.repair = cc.migrate
+                             ? engine::FailureHandling::Repair::Migrate
+                             : engine::FailureHandling::Repair::Drop;
+  engine::Engine eng(sc.substrate, sc.apps, ecfg);
+  core::OliveEmbedder algo(sc.substrate, sc.apps, sc.plan);
+  InvariantChecker checker(algo, sc.substrate, sc.apps);
+  eng.add_observer(&checker);
+  const core::SimMetrics metrics = eng.run(algo, sc.online);
+  checker.check(-1);  // final state, after the last slot
+  EXPECT_GT(metrics.accepted, 0);
+  *checks_out = checker.checks_run;
+  return metrics;
+}
+
+class InvariantTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(InvariantTest, HoldsEverySlotWithoutFailures) {
+  int checks = 0;
+  const auto metrics = run_checked({GetParam(), false}, &checks);
+  EXPECT_GT(checks, 50);
+  EXPECT_EQ(metrics.failures, 0);
+}
+
+TEST_P(InvariantTest, HoldsEverySlotUnderFailuresWithMigration) {
+  int checks = 0;
+  const auto metrics = run_checked({GetParam(), true}, &checks);
+  EXPECT_GT(checks, 50);
+  EXPECT_GT(metrics.failures, 0);
+  EXPECT_GT(metrics.failure_hit, 0);
+  EXPECT_EQ(metrics.migrations + metrics.sla_violations,
+            metrics.failure_hit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, InvariantTest,
+                         ::testing::Values("Iris", "CittaStudi", "FatTree4"),
+                         [](const auto& info) { return info.param; });
+
+TEST(InvariantTest2, HoldsUnderDropOnlyRepair) {
+  int checks = 0;
+  const auto metrics = run_checked({"Iris", true, false, false}, &checks);
+  EXPECT_GT(metrics.sla_violations, 0);
+  EXPECT_EQ(metrics.migrations, 0);
+}
+
+TEST(InvariantTest2, HoldsWhenEdgeNodesFailToo) {
+  int checks = 0;
+  const auto metrics = run_checked({"Iris", true, true, true}, &checks);
+  EXPECT_GT(metrics.failures, 0);
+}
+
+}  // namespace
+}  // namespace olive
