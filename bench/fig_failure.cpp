@@ -1,24 +1,42 @@
-// Substrate-dynamics study: failure/recovery events with migration-based
-// repair (docs/failures.md; extends the paper's static-substrate §IV
-// evaluation — not a paper figure).
+// Substrate-dynamics study: failure/recovery events with batched
+// migration repair and capacity-aware re-planning (docs/failures.md;
+// extends the paper's static-substrate §IV evaluation — not a paper
+// figure).
 //
-// A deterministic failure stream (transport/core node and link outages,
-// geometric repair times) runs against the online test period.  OLIVE runs
-// four ways per intensity:
+// A deterministic failure stream runs against the online test period at
+// three intensities: independent node/link outages (light / heavy) and a
+// correlated scenario (corr) that adds derived shared-risk groups (racks)
+// and a scheduled maintenance window.  Per intensity:
 //
-//   OLIVE        migration repair (path patch -> capacitated re-embed ->
-//                greedy fallback); unrepairable embeddings become SLA
-//                violations.
-//   OLIVE-Drop   drop-only repair: every failure-hit embedding is an SLA
-//                violation (the lower bound migration must beat).
-//   OLIVE-Burst  migration repair plus the ReplanPolicy failure-burst
-//                trigger: a burst of broken embeddings launches an early
-//                async re-plan on top of the periodic schedule.
-//   QuickG       plan-less reference under the same failures.
+//   OLIVE          batched repair (default): one joint min-cost
+//                  re-assignment per failure event over the freed
+//                  residuals, staged per-request repair as fallback.
+//   OLIVE-Seq      the PR-5 one-at-a-time ladder (path patch ->
+//                  capacitated re-embed -> greedy), ascending id order.
+//   OLIVE-Drop     drop-only repair: every failure-hit embedding is an SLA
+//                  violation (the lower bound any repair must beat).
+//   OLIVE-Burst    batched repair plus failure-burst re-planning with
+//                  capacity-aware masters: re-plan solves price the
+//                  capacities as of the launch slot.
+//   OLIVE-Nominal  same schedule, but re-plans price *nominal* capacities
+//                  (the pre-capacity-overlay behavior) — the ablation pair
+//                  for OLIVE-Burst.
+//   QuickG         plan-less reference under the same failures.
+//   SlotOff        per-slot OFF-VNE re-solve with the current capacities
+//                  folded into every master (no migration: each slot
+//                  re-seats all active demand).
 //
-// The headline number is recovery_pct = migrated / failure-hit: the share
-// of failure-hit embeddings migration saves (>= 50% on Iris quick scale is
-// the subsystem's acceptance bar; the CI asserts it from --json output).
+// Headline numbers, asserted by CI from --json: recovery_pct =
+// migrated / failure-hit (batched >= one-at-a-time per intensity), and
+// OLIVE-Burst's aggregate rejection_rate and total_cost <= OLIVE-Nominal's.
+// Rejection rate and cost are the SLA-inclusive service-loss metrics: an
+// SLA-dropped window request counts as preempted and incurs the full
+// rejection cost Psi, so both fold the violations in.  The raw
+// sla_violations column is NOT comparable across the pair — capacity-aware
+// planning admits more demand (phantom shares on degraded elements waste
+// the nominal plan's acceptance), so it simply has more live embeddings
+// exposed to failures.  The patched/reembedded/batched columns expose the
+// recovery composition.
 #include "bench/common.hpp"
 #include "core/olive.hpp"
 #include "engine/engine.hpp"
@@ -29,7 +47,7 @@ int main(int argc, char** argv) {
   const auto& cli = bench::parse_cli(argc, argv);
   const auto scale = cli.scale;
   bench::print_header(
-      "Failure study: migration repair vs drop under substrate outages, Iris",
+      "Failure study: batched repair and capacity-aware planning, Iris",
       scale);
 
   const int test_slots = scale.horizon - scale.plan_slots;
@@ -38,61 +56,102 @@ int main(int argc, char** argv) {
   struct Intensity {
     const char* name;
     double node_mtbf, link_mtbf;
+    bool correlated = false;
   };
   // Expected events per run ~ eligible_elements * test_slots / mtbf.
   const Intensity intensities[] = {
       {"light", 8.0 * test_slots, 16.0 * test_slots},
       {"heavy", 2.0 * test_slots, 4.0 * test_slots},
+      {"corr", 4.0 * test_slots, 8.0 * test_slots, true},
   };
 
-  Table table({"intensity", "algorithm", "events", "hit", "migrated", "sla",
-               "recovery_pct", "rejection_rate_pct", "total_cost", "replans"});
-  std::cout << "intensity,algorithm,events,hit,migrated,sla,recovery_pct,"
-               "rejection_rate_pct,total_cost,replans\n";
+  Table table({"intensity", "algorithm", "events", "hit", "migrated",
+               "patched", "reembedded", "batched", "sla_violations",
+               "recovery_pct", "rejection_rate_pct", "total_cost",
+               "replans"});
+  std::cout << "intensity,algorithm,events,hit,migrated,patched,reembedded,"
+               "batched,sla_violations,recovery_pct,rejection_rate_pct,"
+               "total_cost,replans\n";
 
   for (const Intensity& in : intensities) {
     auto cfg = bench::base_config(scale, "Iris", 1.0);
     cfg.failures.node_mtbf = in.node_mtbf;
     cfg.failures.link_mtbf = in.link_mtbf;
     cfg.failures.repair_mean = 25;
+    if (in.correlated) {
+      // Correlated hazards: every rack (non-edge node + incident links)
+      // is a derived shared-risk group, a scheduled maintenance window
+      // takes two transport nodes down mid-run, and brown-outs degrade
+      // node capacities (sticky rescale factors — the regime where
+      // capacity-aware re-planning pays off, since a nominal-capacity
+      // plan keeps committing load a degraded element can no longer
+      // hold, so every further shrink breaks more embeddings).
+      cfg.failures.derive_groups = true;
+      cfg.failures.group_mtbf = 6.0 * test_slots;
+      cfg.failures.rescale_rate = 0.2;
+      cfg.failures.rescale_min = 0.3;
+      cfg.failures.rescale_max = 0.9;
+      workload::MaintenanceWindow mw;
+      mw.slot = test_slots / 2;
+      mw.duration = 20;
+      mw.tier = net::Tier::Transport;
+      mw.count = 2;
+      cfg.failures.maintenance.push_back(mw);
+    }
 
     for (const std::string algo :
-         {"OLIVE", "OLIVE-Drop", "OLIVE-Burst", "QuickG"}) {
+         {"OLIVE", "OLIVE-Seq", "OLIVE-Drop", "OLIVE-Burst", "OLIVE-Nominal",
+          "QuickG", "SlotOff"}) {
       if (!bench::algo_selected(algo)) continue;
       auto run_cfg = cfg;
-      run_cfg.failure_migrate = algo != "OLIVE-Drop";
+      run_cfg.failure_repair = algo == "OLIVE-Drop" ? core::RepairPolicy::Drop
+                               : algo == "OLIVE-Seq"
+                                   ? core::RepairPolicy::Migrate
+                                   : core::RepairPolicy::Batched;
 
       struct Row {
         double rejection = 0, cost = 0;
-        long events = 0, hit = 0, migrated = 0, sla = 0, replans = 0;
+        long events = 0, hit = 0, migrated = 0, patched = 0, reembedded = 0,
+             batched = 0, sla = 0, replans = 0;
       };
+      const int reps = bench::algo_reps(scale, algo);
       const auto rows = bench::map_repetitions(
-          run_cfg, scale.reps, [&](const core::Scenario& sc, int rep) -> Row {
+          run_cfg, reps, [&](const core::Scenario& sc, int rep) -> Row {
             core::SimMetrics m;
-            if (algo == "OLIVE-Burst") {
+            if (algo == "OLIVE-Burst" || algo == "OLIVE-Nominal") {
               engine::EngineConfig ecfg;
               ecfg.sim = sc.config.sim;
               ecfg.failures.trace = sc.failure_trace;
+              ecfg.failures.repair = sc.config.failure_repair;
               ecfg.replan.period = period;
               ecfg.replan.failure_burst = 3;
               ecfg.replan.plan = sc.config.plan;
               ecfg.replan.plan.max_rounds = 8;
+              ecfg.replan.capacity_aware = algo == "OLIVE-Burst";
               ecfg.replan.seed =
                   Rng(sc.config.seed)
                       .fork(stable_hash("failure-replan"))
                       .fork(static_cast<std::uint64_t>(rep) + 1)();
               engine::Engine eng(sc.substrate, sc.apps, ecfg);
-              core::OliveEmbedder oe(sc.substrate, sc.apps, sc.plan,
-                                     "OLIVE-Burst");
+              core::OliveEmbedder oe(sc.substrate, sc.apps, sc.plan, algo);
               m = eng.run(oe, sc.online);
             } else {
               const std::string base_algo =
-                  algo == "QuickG" ? "QuickG" : "OLIVE";
+                  algo == "QuickG" || algo == "SlotOff" ? algo : "OLIVE";
               m = core::run_algorithm(sc, base_algo);
             }
-            return {m.rejection_rate(), m.total_cost(),   m.failures,
-                    m.failure_hit,      m.migrations,     m.sla_violations,
-                    m.replans};
+            Row r;
+            r.rejection = m.rejection_rate();
+            r.cost = m.total_cost();
+            r.events = m.failures;
+            r.hit = m.failure_hit;
+            r.migrated = m.migrations;
+            r.patched = m.repairs_patched;
+            r.reembedded = m.repairs_reembedded;
+            r.batched = m.repairs_batched;
+            r.sla = m.sla_violations;
+            r.replans = m.replans;
+            return r;
           });
       std::vector<double> rej, cost;
       Row sum;
@@ -102,6 +161,9 @@ int main(int argc, char** argv) {
         sum.events += r.events;
         sum.hit += r.hit;
         sum.migrated += r.migrated;
+        sum.patched += r.patched;
+        sum.reembedded += r.reembedded;
+        sum.batched += r.batched;
         sum.sla += r.sla;
         sum.replans += r.replans;
       }
@@ -109,12 +171,14 @@ int main(int argc, char** argv) {
           sum.hit == 0 ? 0.0
                        : static_cast<double>(sum.migrated) / sum.hit;
       bench::stream_row(
-          table, {in.name, algo, std::to_string(sum.events),
-                  std::to_string(sum.hit), std::to_string(sum.migrated),
-                  std::to_string(sum.sla), Table::num(100 * recovery, 1),
-                  bench::pct(stats::mean_ci(rej)),
-                  bench::with_ci(stats::mean_ci(cost)),
-                  std::to_string(sum.replans)});
+          table,
+          {in.name, algo, std::to_string(sum.events), std::to_string(sum.hit),
+           std::to_string(sum.migrated), std::to_string(sum.patched),
+           std::to_string(sum.reembedded), std::to_string(sum.batched),
+           std::to_string(sum.sla), Table::num(100 * recovery, 1),
+           bench::pct(stats::mean_ci(rej)),
+           bench::with_ci(stats::mean_ci(cost)),
+           std::to_string(sum.replans)});
     }
   }
   std::cout << "\n";

@@ -45,6 +45,9 @@ class LoadTracker {
 
   /// Current capacity of an element (nominal unless set_capacity changed it).
   double capacity(int element) const { return capacity_.at(element); }
+  /// All current capacities, indexed by flat element (plan-solver overlays
+  /// snapshot this to price against the live substrate state).
+  const std::vector<double>& capacities() const noexcept { return capacity_; }
   /// Demand currently committed to an element.
   double used(int element) const { return used_.at(element); }
 

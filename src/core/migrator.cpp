@@ -1,8 +1,11 @@
 #include "core/migrator.hpp"
 
+#include <algorithm>
+#include <map>
 #include <unordered_map>
 
 #include "core/embedder.hpp"
+#include "core/plan_solver.hpp"
 #include "net/paths.hpp"
 #include "util/error.hpp"
 
@@ -62,14 +65,17 @@ std::optional<net::Embedding> Migrator::patch_paths(
 
 std::optional<net::Embedding> Migrator::repair(const workload::Request& r,
                                                const net::Embedding& broken,
-                                               const LoadTracker& load) {
+                                               const LoadTracker& load,
+                                               RepairStage* stage) {
   OLIVE_REQUIRE(r.app >= 0 && r.app < static_cast<int>(apps_.size()),
                 "request app out of range");
   const net::VirtualNetwork& vn = apps_[r.app].topology;
   ++stats_.attempts;
+  if (stage) *stage = RepairStage::None;
 
   if (auto patched = patch_paths(vn, broken, r.demand, load)) {
     ++stats_.path_patches;
+    if (stage) *stage = RepairStage::Patched;
     return patched;
   }
 
@@ -77,17 +83,92 @@ std::optional<net::Embedding> Migrator::repair(const workload::Request& r,
                                                    r.demand, load)) {
     if (load.fits(net::unit_usage(substrate_, vn, *e), r.demand)) {
       ++stats_.reembeds;
+      if (stage) *stage = RepairStage::Reembedded;
       return e;
     }
   }
   if (auto e = greedy_collocated_embedding(substrate_, vn, r.ingress,
                                            r.demand, load)) {
     ++stats_.reembeds;
+    if (stage) *stage = RepairStage::Reembedded;
     return e;
   }
 
   ++stats_.failures;
   return std::nullopt;
+}
+
+std::vector<std::optional<net::Embedding>> Migrator::plan_batch(
+    const std::vector<const workload::Request*>& batch,
+    const LoadTracker& load) {
+  std::vector<std::optional<net::Embedding>> result(batch.size());
+  if (batch.size() < 2) return result;  // nothing joint about a singleton
+  ++stats_.batch_solves;
+
+  // Aggregate the batch into (app, ingress) classes — the convexity-row
+  // granularity of the joint solve — remembering each class's members.
+  std::map<long long, int> class_of;
+  std::vector<AggregateRequest> aggregates;
+  std::vector<std::vector<int>> members;  // batch indices per class
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const workload::Request& r = *batch[i];
+    OLIVE_REQUIRE(r.app >= 0 && r.app < static_cast<int>(apps_.size()),
+                  "request app out of range");
+    const long long key = class_key(r.app, r.ingress);
+    auto [it, inserted] =
+        class_of.try_emplace(key, static_cast<int>(aggregates.size()));
+    if (inserted) {
+      AggregateRequest agg;
+      agg.app = r.app;
+      agg.ingress = r.ingress;
+      members.emplace_back();
+      aggregates.push_back(agg);
+    }
+    aggregates[it->second].demand += r.demand;
+    aggregates[it->second].request_count += 1;
+    members[it->second].push_back(static_cast<int>(i));
+  }
+
+  // One small OFF-VNE instance over the residual capacities.  A single
+  // rejection quantile keeps the master tiny (infeasible shares are simply
+  // rejected and fall back to staged repair); pricing is single-threaded so
+  // repair work never depends on the engine's thread count.
+  PlanVneConfig cfg;
+  cfg.quantiles = 1;
+  cfg.max_rounds = 6;
+  cfg.threads = 1;
+  cfg.capacities = load.residuals();
+  const Plan plan = solve_plan_vne(substrate_, apps_, aggregates, cfg);
+
+  // Round the fractional class optimum back to per-request embeddings:
+  // members largest-demand-first (ties by batch order, i.e. request id
+  // order), columns by descending planned share, first fit against a
+  // scratch tracker so the seated set stays jointly feasible.
+  LoadTracker scratch = load;
+  for (int c = 0; c < plan.num_classes(); ++c) {
+    const PlanClass& pc = plan.cls(c);
+    std::vector<const PlanColumn*> cols;
+    for (const PlanColumn& col : pc.columns) cols.push_back(&col);
+    std::stable_sort(cols.begin(), cols.end(),
+                     [](const PlanColumn* a, const PlanColumn* b) {
+                       return a->planned_demand > b->planned_demand;
+                     });
+    std::vector<int> order = members[c];
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return batch[a]->demand > batch[b]->demand;
+    });
+    for (const int i : order) {
+      const workload::Request& r = *batch[i];
+      for (const PlanColumn* col : cols) {
+        if (!scratch.fits(col->usage, r.demand)) continue;
+        scratch.apply(col->usage, r.demand);
+        result[i] = col->embedding;
+        ++stats_.batch_placed;
+        break;
+      }
+    }
+  }
+  return result;
 }
 
 }  // namespace olive::core

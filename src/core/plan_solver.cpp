@@ -98,6 +98,10 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
   for (int e = 0; e < s.element_count(); ++e)
     OLIVE_REQUIRE(s.element_capacity(e) > 0,
                   "every substrate element needs positive capacity");
+  OLIVE_REQUIRE(config.capacities.empty() ||
+                    static_cast<int>(config.capacities.size()) ==
+                        s.element_count(),
+                "capacity overlay must cover every substrate element");
   if (aggregates.empty()) {
     if (info) *info = {};
     return Plan::empty();
@@ -106,6 +110,24 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
   const int n_classes = static_cast<int>(aggregates.size());
   const int n_elems = s.element_count();
   const int P = config.quantiles;
+
+  // Capacity overlay (docs/failures.md): rhs fractions and the dead-element
+  // set.  `overlay` empty keeps every code path arithmetically identical to
+  // the nominal solver (rhs is the literal 1.0, no candidate filtering).
+  const bool overlay = !config.capacities.empty();
+  constexpr double kDeadCost = 1e30;  // finite: sums/compares stay ordered
+  std::vector<char> dead;
+  if (overlay) {
+    dead.resize(n_elems, 0);
+    for (int e = 0; e < n_elems; ++e)
+      dead[e] = config.capacities[e] <= 0 ? 1 : 0;
+  }
+  const auto touches_dead = [&](const Usage& usage) {
+    if (!overlay) return false;
+    for (const auto& [elem, amount] : usage)
+      if (dead[elem] && amount > 0) return true;
+    return false;
+  };
 
   // Per-class ψ (fixed per application as in the paper).
   std::vector<double> psi(n_classes);
@@ -174,7 +196,16 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
   // tree-DP tables are ingress-independent, so one DP per application serves
   // every class of that application; shortest-path trees are computed
   // lazily, only for the sources the DPs actually query.
-  const EffectiveCosts plain = EffectiveCosts::plain(s);
+  EffectiveCosts plain = EffectiveCosts::plain(s);
+  if (overlay) {
+    // Dead elements price at the sentinel so the min-cost DP routes around
+    // them whenever a live alternative exists; embeddings that still touch
+    // one are filtered below.
+    for (net::NodeId v = 0; v < s.num_nodes(); ++v)
+      if (dead[s.node_element(v)]) plain.node_cost[v] = kDeadCost;
+    for (net::LinkId l = 0; l < s.num_links(); ++l)
+      if (dead[s.link_element(l)]) plain.link_weight[l] = kDeadCost;
+  }
   const net::LazyShortestPaths plain_paths(s, plain.link_weight);
   struct Candidate {
     net::Embedding embedding;
@@ -193,6 +224,8 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
     const auto& agg = aggregates[c];
     if (!priced[c].feasible)
       continue;  // no feasible placement anywhere: rejection-only
+    if (touches_dead(priced[c].usage))
+      continue;  // every placement needs a down element: rejection-only now
     Candidate cd;
     cd.usage = std::move(priced[c].usage);
     cd.unit_cost = priced[c].unit_cost;
@@ -205,6 +238,7 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
     // Seed the pool with previously generated columns for this class.
     if (cache) {
       for (const auto& cc : cache->bucket(agg.app, agg.ingress).columns) {
+        if (touches_dead(cc.usage)) continue;
         if (!seen[c].insert(cc.fingerprint).second) continue;
         Candidate warm;
         warm.embedding = cc.embedding;
@@ -236,7 +270,13 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
   std::vector<std::uint64_t> row_keys, col_keys;
   row_keys.reserve(static_cast<std::size_t>(n_elems) + n_classes);
   for (int e = 0; e < n_elems; ++e) {
-    master.add_row(lp::Sense::LE, 1.0);
+    // Eq. 15 rhs, scaled by the nominal capacity: 1.0 nominally, the live
+    // fraction under a capacity overlay (0 for a down element, so no column
+    // using it can take a positive share).
+    const double rhs =
+        overlay ? std::max(0.0, config.capacities[e]) / s.element_capacity(e)
+                : 1.0;
+    master.add_row(lp::Sense::LE, rhs);
     row_keys.push_back(mix64(kCapacityRowTag, static_cast<std::uint64_t>(e)));
   }
   std::vector<int> convexity_row(n_classes);
@@ -314,15 +354,24 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
     EffectiveCosts eff;
     eff.node_cost.resize(s.num_nodes());
     eff.link_weight.resize(s.num_links());
+    // A down element's capacity row has rhs 0 but may sit degenerate with a
+    // zero dual, so the dual adjustment alone cannot repel pricing from it —
+    // the sentinel does (mirrors the initial plain-cost pass).
     for (net::NodeId v = 0; v < s.num_nodes(); ++v) {
       const int e = s.node_element(v);
-      eff.node_cost[v] = std::max(
-          0.0, obj_scale * s.node(v).cost - res.duals[e] / s.element_capacity(e));
+      eff.node_cost[v] =
+          overlay && dead[e]
+              ? kDeadCost
+              : std::max(0.0, obj_scale * s.node(v).cost -
+                                  res.duals[e] / s.element_capacity(e));
     }
     for (net::LinkId l = 0; l < s.num_links(); ++l) {
       const int e = s.link_element(l);
-      eff.link_weight[l] = std::max(
-          0.0, obj_scale * s.link(l).cost - res.duals[e] / s.element_capacity(e));
+      eff.link_weight[l] =
+          overlay && dead[e]
+              ? kDeadCost
+              : std::max(0.0, obj_scale * s.link(l).cost -
+                                  res.duals[e] / s.element_capacity(e));
     }
     // Lazy trees + one ingress-independent DP per application per round,
     // priced app-parallel against the read-only dual snapshot in `eff`.
@@ -340,6 +389,7 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
       const double mu = res.duals[convexity_row[c]];
       const double rc = agg.demand * priced[c].unit_eff - mu;
       if (rc >= -config.reduced_cost_tol) continue;
+      if (touches_dead(priced[c].usage)) continue;  // only dead routes left
       if (!seen[c].insert(priced[c].fingerprint).second) continue;  // dup
 
       Candidate cd;

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "core/plan.hpp"
 #include "lp/simplex.hpp"
@@ -51,6 +52,19 @@ struct PlanVneConfig {
   /// tests/parallel_determinism_test.cpp).
   int threads = 0;
   lp::SimplexOptions lp;
+  /// Current-capacity overlay for the Eq. 15 rows (flat element indexing;
+  /// when non-empty, must have exactly element_count entries).  Empty — the
+  /// default — prices against the substrate's nominal capacities, with
+  /// arithmetic bit-identical to the overlay-free solver.  When set, each
+  /// capacity row's rhs becomes max(0, capacities[e]) / nominal(e), and
+  /// pricing treats zero-capacity (down) elements as unusable: their
+  /// effective costs get a huge-finite sentinel and candidate embeddings
+  /// touching them are discarded rather than entered into the master (an
+  /// rhs-0 row can carry a zero dual under degeneracy, so the LP rows alone
+  /// would not steer column generation away from dead elements).  Classes
+  /// left with no live embedding get rejection-only plans for this solve.
+  /// Negative entries (residuals driven negative by a failure) clamp to 0.
+  std::vector<double> capacities;
 };
 
 struct PlanSolveInfo {

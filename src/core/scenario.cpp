@@ -119,9 +119,7 @@ SimMetrics run_algorithm(const Scenario& sc, const std::string& algorithm) {
   // OLIVE_REGISTER_ALGORITHM).  Throws InvalidArgument for unknown names.
   engine::EngineConfig ecfg{sc.config.sim, {}, {}};
   ecfg.failures.trace = sc.failure_trace;
-  ecfg.failures.repair = sc.config.failure_migrate
-                             ? engine::FailureHandling::Repair::Migrate
-                             : engine::FailureHandling::Repair::Drop;
+  ecfg.failures.repair = sc.config.failure_repair;
   engine::Engine eng(sc.substrate, sc.apps, std::move(ecfg));
   return engine::EmbedderRegistry::instance().run(algorithm, eng, sc);
 }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "core/migrator.hpp"
 #include "core/plan_solver.hpp"
 #include "core/simulator.hpp"
 #include "topo/topologies.hpp"
@@ -55,12 +56,13 @@ struct ScenarioConfig {
 
   /// Substrate dynamics (docs/failures.md): when `failures.enabled()`, a
   /// per-repetition failure/recovery trace is drawn over the test period
-  /// and run_algorithm applies it (SlotOff excepted — the per-slot master
-  /// cannot honor shrunk capacities yet).
+  /// and run_algorithm applies it (SlotOff folds the shrunk capacities into
+  /// its per-slot masters instead of migrating).
   workload::FailureConfig failures;
-  /// Repair policy for failure-hit embeddings: migration-based repair
-  /// (default) or drop-only (every hit is an SLA violation).
-  bool failure_migrate = true;
+  /// Repair policy for failure-hit embeddings: batched joint re-assignment
+  /// (default), per-request staged migration, or drop-only (every hit is an
+  /// SLA violation).
+  RepairPolicy failure_repair = RepairPolicy::Batched;
 };
 
 /// One fully materialized repetition.

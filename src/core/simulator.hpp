@@ -128,6 +128,12 @@ struct SimMetrics {
   long failure_hit = 0;
   long migrations = 0;
   long sla_violations = 0;
+  /// Repair-stage composition of `migrations` (patched + reembedded +
+  /// batched == migrations): path patches, full re-embeds (incl. the
+  /// greedy fallback), and seats assigned by the joint batch solve.
+  long repairs_patched = 0;
+  long repairs_reembedded = 0;
+  long repairs_batched = 0;
 
   std::vector<RequestRecord> records;  // only if record_requests
 };

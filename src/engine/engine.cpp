@@ -285,8 +285,8 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
         std::sort(broken.begin(), broken.end());  // repairs run in id order
       }
 
-      // Evict every broken allocation first, then repair in id order —
-      // each migration prices against the fully freed residual.
+      // Evict every broken allocation first, then repair — each repair
+      // prices against the fully freed residual.
       for (const int id : broken) {
         const Info& inf = info.at(id);
         algo.depart(*inf.req);
@@ -294,27 +294,68 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
       }
       record.affected = static_cast<int>(broken.size());
       metrics.failure_hit += record.affected;
-      const bool migrate =
-          config_.failures.repair == FailureHandling::Repair::Migrate;
-      for (const int id : broken) {
+      const core::RepairPolicy policy = config_.failures.repair;
+
+      // Adopts a replacement embedding and does all the bookkeeping; false
+      // leaves the request to the fallback / drop path.
+      const auto try_adopt = [&](Info& inf, const workload::Request& vr,
+                                 const net::Embedding& moved,
+                                 core::RepairStage stage) {
+        auto out = algo.adopt(vr, moved);
+        if (!out) return false;
+        // adopt must fit the residuals as-is (no preemption) — the engine
+        // has no accounting for victims it didn't see.
+        OLIVE_ASSERT(out->preempted_ids.empty());
+        inf.unit_cost = out->unit_cost;
+        inf.usage = std::move(out->usage);
+        inf.embedding = std::move(out->embedding);
+        active_cost += vr.demand * inf.unit_cost;
+        metrics.migrations += 1;
+        record.migrated += 1;
+        switch (stage) {
+          case core::RepairStage::Patched:
+            ++record.patched;
+            ++metrics.repairs_patched;
+            break;
+          case core::RepairStage::Reembedded:
+            ++record.reembedded;
+            ++metrics.repairs_reembedded;
+            break;
+          case core::RepairStage::Batched:
+            ++record.batched;
+            ++metrics.repairs_batched;
+            break;
+          case core::RepairStage::None:
+            break;
+        }
+        return true;
+      };
+
+      // Batched policy: one joint min-cost re-assignment over the freed
+      // residuals (Migrator::plan_batch); requests the batch cannot seat
+      // fall through to the staged per-request ladder below.
+      std::vector<std::optional<net::Embedding>> batch;
+      if (policy == core::RepairPolicy::Batched && broken.size() >= 2) {
+        std::vector<const workload::Request*> reqs;
+        reqs.reserve(broken.size());
+        for (const int id : broken) reqs.push_back(info.at(id).req);
+        batch = migrator.plan_batch(reqs, algo.load());
+      }
+
+      for (std::size_t bi = 0; bi < broken.size(); ++bi) {
+        const int id = broken[bi];
         Info& inf = info.at(id);
         const workload::Request& vr = *inf.req;
         bool repaired = false;
-        if (migrate) {
-          if (auto moved =
-                  migrator.repair(vr, inf.embedding, algo.load())) {
-            if (auto out = algo.adopt(vr, *moved)) {
-              // adopt must fit the residuals as-is (no preemption) — the
-              // engine has no accounting for victims it didn't see.
-              OLIVE_ASSERT(out->preempted_ids.empty());
-              inf.unit_cost = out->unit_cost;
-              inf.usage = std::move(out->usage);
-              inf.embedding = std::move(out->embedding);
-              active_cost += vr.demand * inf.unit_cost;
-              metrics.migrations += 1;
-              record.migrated += 1;
-              repaired = true;
-            }
+        if (policy != core::RepairPolicy::Drop) {
+          if (bi < batch.size() && batch[bi].has_value())
+            repaired =
+                try_adopt(inf, vr, *batch[bi], core::RepairStage::Batched);
+          if (!repaired) {
+            core::RepairStage stage = core::RepairStage::None;
+            if (auto moved =
+                    migrator.repair(vr, inf.embedding, algo.load(), &stage))
+              repaired = try_adopt(inf, vr, *moved, stage);
           }
         }
         if (repaired) continue;
@@ -343,7 +384,12 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
     if (replan.wants_launch(t) &&
         t + config_.replan.install_delay < n_slots) {
       const auto launch_start = Clock::now();
-      replan.launch(trace, base, t);
+      // Capacity-aware re-planning prices against the capacity view as of
+      // this launch slot (slot-t failure events already applied above).
+      std::vector<double> capacity_snapshot;
+      if (dynamics && config_.replan.capacity_aware)
+        capacity_snapshot = algo.load().capacities();
+      replan.launch(trace, base, t, capacity_snapshot);
       metrics.algo_seconds += seconds_since(launch_start);
     }
 
@@ -431,11 +477,6 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
 SimMetrics Engine::run_slotoff(const workload::Trace& trace,
                                const core::PlanVneConfig& plan_config,
                                bool warm_start) {
-  // The per-slot OFF-VNE master prices against nominal substrate
-  // capacities, so it cannot honor a shrunk capacity view yet (ROADMAP
-  // open item; see docs/failures.md).
-  OLIVE_REQUIRE(config_.failures.trace.empty(),
-                "substrate dynamics are not supported by run_slotoff");
   const SimulatorConfig& sim = config_.sim;
   SimMetrics metrics;
   metrics.algorithm = "SlotOff";
@@ -478,13 +519,69 @@ SimMetrics Engine::run_slotoff(const workload::Trace& trace,
   core::PlanColumnCache cache;
   // Basis continuity: each slot's master starts from the previous slot's
   // optimal basis (surviving classes/columns matched by key inside
-  // solve_plan_vne; arrivals and departures fall back per row).
+  // solve_plan_vne; arrivals and departures fall back per row — and the
+  // warm-start repair absorbs capacity-row rhs changes under failures).
   core::PlanWarmStart warm;
   core::PlanWarmStart* warm_ptr = warm_start ? &warm : nullptr;
   std::size_t next = 0;
 
+  // Substrate dynamics: SLOTOFF has no per-request repair to do — every
+  // slot re-seats all active demand anyway — so failure events just update
+  // the capacity view each per-slot master prices (PlanVneConfig overlay)
+  // and the rounding pass seats against.  Requests on damaged elements are
+  // re-seated elsewhere or dropped by the very next solve.
+  const workload::FailureTrace& fail_trace = config_.failures.trace;
+  const bool dynamics = !fail_trace.empty();
+  if (dynamics) workload::validate_failure_trace(fail_trace, substrate_);
+  std::vector<char> elem_down;
+  std::vector<double> elem_factor;
+  std::vector<double> capacities;
+  if (dynamics) {
+    elem_down.assign(substrate_.element_count(), 0);
+    elem_factor.assign(substrate_.element_count(), 1.0);
+    capacities.resize(substrate_.element_count());
+    for (int e = 0; e < substrate_.element_count(); ++e)
+      capacities[e] = substrate_.element_capacity(e);
+  }
+  std::size_t next_event = 0;
+  core::PlanVneConfig overlay_config = plan_config;  // dynamics only
+
   for (int t = 0; t < n_slots; ++t) {
     for (Observer* o : observers_) o->on_slot_begin(t);
+
+    // Failure events for slot t: update the capacity view before this
+    // slot's solve (same slot-boundary position as Engine::run).
+    while (next_event < fail_trace.size() &&
+           fail_trace[next_event].slot == t) {
+      const workload::FailureEvent& ev = fail_trace[next_event++];
+      FailureRecord record;
+      record.event = ev;
+      record.slot = t;
+      const auto capacity_now = [&] {
+        return elem_down[ev.element]
+                   ? 0.0
+                   : substrate_.element_capacity(ev.element) *
+                         elem_factor[ev.element];
+      };
+      record.capacity_before = capacity_now();
+      switch (ev.kind) {
+        case workload::FailureKind::NodeDown:
+        case workload::FailureKind::LinkDown:
+          elem_down[ev.element] = 1;
+          break;
+        case workload::FailureKind::NodeUp:
+        case workload::FailureKind::LinkUp:
+          elem_down[ev.element] = 0;
+          break;
+        case workload::FailureKind::Rescale:
+          elem_factor[ev.element] = ev.factor;
+          break;
+      }
+      record.capacity_after = capacity_now();
+      capacities[ev.element] = record.capacity_after;
+      metrics.failures += 1;
+      for (Observer* o : observers_) o->on_failure(record);
+    }
 
     // Departures, then this slot's arrivals.
     for (const workload::Request* r : departures[t])
@@ -528,13 +625,19 @@ SimMetrics Engine::run_slotoff(const workload::Trace& trace,
       members_of.push_back(&sc->members);
     }
     core::PlanSolveInfo solve_info;
+    if (dynamics) overlay_config.capacities = capacities;
     const core::Plan plan = core::solve_plan_vne(
-        substrate_, apps_, aggs, plan_config, &solve_info, &cache, warm_ptr);
+        substrate_, apps_, aggs, dynamics ? overlay_config : plan_config,
+        &solve_info, &cache, warm_ptr);
     accumulate_solve(metrics, solve_info);
 
     // Round the splittable plan onto individual requests: largest first,
-    // first fitting column (capacity f_k·D_c and substrate feasibility).
+    // first fitting column (capacity f_k·D_c and substrate feasibility —
+    // against the *current* capacities under dynamics).
     core::LoadTracker load(substrate_);
+    if (dynamics)
+      for (int e = 0; e < substrate_.element_count(); ++e)
+        load.set_capacity(e, capacities[e]);
     double slot_cost = 0, slot_alloc = 0;
     std::vector<const workload::Request*> dropped;
     for (int c = 0; c < plan.num_classes(); ++c) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/algorithm.hpp"
+#include "core/migrator.hpp"
 #include "core/plan_solver.hpp"
 #include "core/simulator.hpp"
 #include "engine/replan.hpp"
@@ -39,14 +40,23 @@
 namespace olive::engine {
 
 /// What one substrate failure event did — the `on_failure` observer payload.
+/// (run_slotoff re-seats every active request each slot, so its records
+/// carry the capacity transition only: affected/migrated/dropped stay 0 and
+/// failure-driven drops surface through the rejected/preempted tallies.)
 struct FailureRecord {
   workload::FailureEvent event;
   int slot = 0;                ///< slot the event was applied at
   double capacity_before = 0;  ///< element capacity before / after the event
   double capacity_after = 0;
   int affected = 0;  ///< active embeddings the event broke
-  int migrated = 0;  ///< repaired by core::Migrator
+  int migrated = 0;  ///< repaired by core::Migrator (all stages)
   int dropped = 0;   ///< SLA violations (affected - migrated)
+  // Repair-stage composition of `migrated` (patched + reembedded + batched
+  // == migrated): path patches, full re-embeds (incl. the greedy fallback),
+  // and seats assigned by the joint batch solve.
+  int patched = 0;
+  int reembedded = 0;
+  int batched = 0;
 };
 
 /// Event-loop hooks.  Default implementations do nothing; observers must
@@ -81,12 +91,12 @@ struct FailureHandling {
   /// after a pending re-plan install but before the slot's releases and
   /// arrivals.  Empty (the default) disables substrate dynamics entirely.
   workload::FailureTrace trace;
-  enum class Repair {
-    Drop,     ///< every broken embedding is an SLA violation
-    Migrate,  ///< core::Migrator re-embeds against residual capacity;
-              ///< only unrepairable embeddings are dropped
-  };
-  Repair repair = Repair::Migrate;
+  /// Repair policy for broken embeddings (core::RepairPolicy): Drop every
+  /// hit, Migrate them one at a time in id order, or (the default) repair
+  /// the whole broken set jointly via the Migrator's batch solve with the
+  /// staged per-request ladder as fallback.
+  using Repair = core::RepairPolicy;
+  Repair repair = Repair::Batched;
 };
 
 struct EngineConfig {
@@ -94,8 +104,9 @@ struct EngineConfig {
   /// Mid-run re-planning; `replan.period == 0` (the default) disables it
   /// and makes Engine::run bit-identical to the pre-engine run_online.
   ReplanConfig replan;
-  /// Substrate failure/recovery dynamics (Engine::run only; run_slotoff
-  /// rejects a non-empty trace — see docs/failures.md).
+  /// Substrate failure/recovery dynamics.  Engine::run migrates or drops
+  /// the embeddings each event breaks; run_slotoff folds the shrunk
+  /// capacities into every per-slot master instead (docs/failures.md).
   FailureHandling failures;
 };
 
@@ -119,7 +130,10 @@ class Engine {
   /// Runs the SLOTOFF baseline: one OFF-VNE master solve per slot on the
   /// slot's actual active demand.  `warm_start` carries each slot's optimal
   /// basis into the next solve.  (ReplanPolicy does not apply — SLOTOFF
-  /// already re-plans every slot.)
+  /// already re-plans every slot.)  With a failure trace configured, each
+  /// slot's master prices the *current* capacities via the plan solver's
+  /// overlay and the rounding pass seats requests against them, so requests
+  /// on damaged elements are re-seated or dropped by the next slot's solve.
   core::SimMetrics run_slotoff(const workload::Trace& trace,
                                const core::PlanVneConfig& plan,
                                bool warm_start = true);

@@ -34,7 +34,8 @@ bool ReplanPolicy::wants_launch(int slot) const noexcept {
   return config_.failure_burst > 0 && failure_hits_ >= config_.failure_burst;
 }
 
-void ReplanPolicy::launch(const workload::Trace& trace, int base, int slot) {
+void ReplanPolicy::launch(const workload::Trace& trace, int base, int slot,
+                          const std::vector<double>& capacities) {
   OLIVE_ASSERT(!pending_);
   failure_hits_ = 0;  // the burst trigger re-arms per launch attempt
   const int window = config_.window > 0 ? config_.window : config_.period;
@@ -75,16 +76,20 @@ void ReplanPolicy::launch(const workload::Trace& trace, int base, int slot) {
   // future (the destructor joins), and consecutive solves never overlap
   // (install_delay < period), so cache_/warm_ are touched by one task at a
   // time.
-  auto task = [this, clipped = std::move(clipped), acfg, rng,
-               event]() mutable -> Result {
+  auto task = [this, clipped = std::move(clipped), acfg, rng, event,
+               capacities]() mutable -> Result {
     const auto start = std::chrono::steady_clock::now();
     const auto aggregates = core::aggregate_history(
         clipped, static_cast<int>(apps_.size()), substrate_.num_nodes(), acfg,
         rng);
     Result out;
     out.event = event;
+    // Capacity-aware pricing: the launch-slot snapshot rides in as the plan
+    // solver's overlay (empty = nominal; see PlanVneConfig::capacities).
+    core::PlanVneConfig plan_cfg = config_.plan;
+    if (!capacities.empty()) plan_cfg.capacities = std::move(capacities);
     out.plan = core::solve_plan_vne(
-        substrate_, apps_, aggregates, config_.plan, &out.event.info, &cache_,
+        substrate_, apps_, aggregates, plan_cfg, &out.event.info, &cache_,
         config_.warm_start ? &warm_ : nullptr);
     out.event.classes = out.plan.num_classes();
     out.event.solve_seconds =

@@ -61,6 +61,16 @@ struct ReplanConfig {
   /// launch + install_delay, so runs remain deterministic).  0 disables
   /// the trigger: only the fixed period launches.
   int failure_burst = 0;
+  /// Price re-plan solves against the substrate's *current* capacities:
+  /// the engine snapshots the embedder's capacity view at the launch slot
+  /// (after that slot's failure events) and passes it to the plan solver
+  /// as a capacity overlay, so plans built mid-outage never promise shares
+  /// on a down element.  The snapshot is taken on the engine thread at the
+  /// policy-fixed launch slot, so runs stay bit-identical at every thread
+  /// count.  Off: re-plans price nominal capacities (the pre-PR-6
+  /// behavior).  Irrelevant without a failure trace — the snapshot then
+  /// equals the nominal capacities and the solve is bit-identical anyway.
+  bool capacity_aware = true;
 };
 
 /// What one re-plan did — the `on_replan` observer payload.
@@ -93,7 +103,11 @@ class ReplanPolicy {
   /// Launches the async PLAN-VNE solve over the trailing window of `trace`
   /// (slots are `arrival - base`; only arrivals strictly before `slot` are
   /// visible — the policy is causal).  No-op if the window holds no demand.
-  void launch(const workload::Trace& trace, int base, int slot);
+  /// `capacities`, if non-empty, is the current-capacity snapshot the solve
+  /// prices against (ReplanConfig::capacity_aware; copied, so the caller's
+  /// view may keep mutating while the solve flies).
+  void launch(const workload::Trace& trace, int base, int slot,
+              const std::vector<double>& capacities = {});
 
   /// Install slot of the in-flight solve, or -1 when none is pending.
   int pending_install_slot() const noexcept;

@@ -161,6 +161,7 @@ TEST(EngineObserverHooks, OrderingCountsAndPayloadsUnderReplanAndFailures) {
   ASSERT_EQ(static_cast<long>(failures.size()), metrics.failures);
   std::size_t next_event = 0;
   long hit = 0, migrated = 0, dropped = 0;
+  long patched = 0, reembedded = 0, batched = 0;
   for (const auto& c : failures) {
     const FailureRecord& r = c.failure;
     ASSERT_LT(next_event, sc.failure_trace.size());
@@ -171,6 +172,8 @@ TEST(EngineObserverHooks, OrderingCountsAndPayloadsUnderReplanAndFailures) {
     EXPECT_EQ(r.slot, ev.slot);
     EXPECT_EQ(c.slot, ev.slot);
     EXPECT_EQ(r.affected, r.migrated + r.dropped);
+    // Per-record repair-stage composition of the migrated count.
+    EXPECT_EQ(r.migrated, r.patched + r.reembedded + r.batched);
     const bool went_down = ev.kind == workload::FailureKind::NodeDown ||
                            ev.kind == workload::FailureKind::LinkDown;
     if (went_down) {
@@ -180,10 +183,16 @@ TEST(EngineObserverHooks, OrderingCountsAndPayloadsUnderReplanAndFailures) {
     hit += r.affected;
     migrated += r.migrated;
     dropped += r.dropped;
+    patched += r.patched;
+    reembedded += r.reembedded;
+    batched += r.batched;
   }
   EXPECT_EQ(hit, metrics.failure_hit);
   EXPECT_EQ(migrated, metrics.migrations);
   EXPECT_EQ(dropped, metrics.sla_violations);
+  EXPECT_EQ(patched, metrics.repairs_patched);
+  EXPECT_EQ(reembedded, metrics.repairs_reembedded);
+  EXPECT_EQ(batched, metrics.repairs_batched);
   EXPECT_GT(hit, 0);
   EXPECT_GT(migrated, 0);
 }

@@ -4,8 +4,10 @@
 //
 // Each seeded case draws a random scenario shape — topology, demand drift,
 // failure intensity (node/link outages + rescales, sometimes hitting edge
-// nodes), repair policy, and mid-run re-planning with the failure-burst
-// trigger — and asserts the two determinism contracts end to end:
+// nodes), correlated shared-risk groups, scheduled maintenance, repair
+// policy (batched / per-request / drop), and mid-run re-planning with the
+// failure-burst trigger and capacity-aware masters — and asserts the two
+// determinism contracts end to end:
 //
 //   * bit-identical SimMetrics at OLIVE_THREADS-equivalent pricing thread
 //     counts {1, 4} (the engine's install slots are policy-fixed and
@@ -51,7 +53,24 @@ FuzzShape shape_from_seed(std::uint64_t seed) {
   cfg.failures.repair_mean = rng.uniform(5, 30);
   cfg.failures.rescale_rate = rng.chance(0.5) ? 0.05 : 0.0;
   cfg.failures.fail_edge = rng.chance(0.3);
-  cfg.failure_migrate = rng.chance(0.8);
+  if (rng.chance(0.5)) {
+    // Correlated dimension: derived rack/pod shared-risk groups.
+    cfg.failures.derive_groups = true;
+    cfg.failures.group_mtbf = rng.uniform(400, 1200);
+  }
+  if (rng.chance(0.5)) {
+    // Deterministic dimension: a scheduled transport maintenance window.
+    workload::MaintenanceWindow w;
+    w.slot = static_cast<int>(rng.uniform(10, 60));
+    w.duration = static_cast<int>(rng.uniform(5, 20));
+    w.tier = net::Tier::Transport;
+    w.count = rng.chance(0.5) ? 1 : 2;
+    cfg.failures.maintenance.push_back(w);
+  }
+  const double policy = rng.uniform(0.0, 1.0);
+  cfg.failure_repair = policy < 0.5   ? core::RepairPolicy::Batched
+                       : policy < 0.8 ? core::RepairPolicy::Migrate
+                                      : core::RepairPolicy::Drop;
   shape.replan = rng.chance(0.5);
   return shape;
 }
@@ -68,9 +87,7 @@ core::SimMetrics run_shape(const FuzzShape& shape, int threads,
   engine::EngineConfig ecfg;
   ecfg.sim = cfg.sim;
   ecfg.failures.trace = sc.failure_trace;
-  ecfg.failures.repair = cfg.failure_migrate
-                             ? engine::FailureHandling::Repair::Migrate
-                             : engine::FailureHandling::Repair::Drop;
+  ecfg.failures.repair = cfg.failure_repair;
   if (shape.replan) {
     ecfg.replan.period = 25;
     ecfg.replan.failure_burst = 4;
@@ -106,6 +123,9 @@ void expect_identical(const core::SimMetrics& a, const core::SimMetrics& b,
   EXPECT_EQ(a.failure_hit, b.failure_hit) << what;
   EXPECT_EQ(a.migrations, b.migrations) << what;
   EXPECT_EQ(a.sla_violations, b.sla_violations) << what;
+  EXPECT_EQ(a.repairs_patched, b.repairs_patched) << what;
+  EXPECT_EQ(a.repairs_reembedded, b.repairs_reembedded) << what;
+  EXPECT_EQ(a.repairs_batched, b.repairs_batched) << what;
 }
 
 class FailureFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};

@@ -227,10 +227,11 @@ TEST(Migrator, ReembedsWhenThePlacementItselfDied) {
   EXPECT_EQ(migrator.stats().failures, 1);
 }
 
-TEST(EngineFailures, DropAndMigrateSemantics) {
-  // Scenario-level smoke: the same failure stream under both repair
-  // policies.  Migration must recover embeddings (fewer SLA violations, no
-  // lost accounting), and every counter must reconcile.
+TEST(EngineFailures, DropMigrateAndBatchedSemantics) {
+  // Scenario-level smoke: the same failure stream under all three repair
+  // policies.  Any repair must recover embeddings (fewer SLA violations,
+  // no lost accounting), and every counter must reconcile — including the
+  // repair-stage composition of `migrations`.
   core::ScenarioConfig cfg;
   cfg.topology = "Iris";
   cfg.seed = 7;
@@ -244,23 +245,41 @@ TEST(EngineFailures, DropAndMigrateSemantics) {
   const core::Scenario sc = core::build_scenario(cfg);
   ASSERT_FALSE(sc.failure_trace.empty());
 
-  cfg.failure_migrate = true;
-  core::Scenario migrate_sc = core::build_scenario(cfg);
-  const core::SimMetrics migrate = core::run_algorithm(migrate_sc, "OLIVE");
+  cfg.failure_repair = core::RepairPolicy::Migrate;
+  const core::SimMetrics migrate =
+      core::run_algorithm(core::build_scenario(cfg), "OLIVE");
 
-  cfg.failure_migrate = false;
-  core::Scenario drop_sc = core::build_scenario(cfg);
-  const core::SimMetrics drop = core::run_algorithm(drop_sc, "OLIVE");
+  cfg.failure_repair = core::RepairPolicy::Batched;
+  const core::SimMetrics batched =
+      core::run_algorithm(core::build_scenario(cfg), "OLIVE");
+
+  cfg.failure_repair = core::RepairPolicy::Drop;
+  const core::SimMetrics drop =
+      core::run_algorithm(core::build_scenario(cfg), "OLIVE");
 
   EXPECT_GT(migrate.failures, 0);
   EXPECT_EQ(migrate.failures, drop.failures);
+  EXPECT_EQ(migrate.failures, batched.failures);
   EXPECT_GT(migrate.failure_hit, 0);
   EXPECT_GT(migrate.migrations, 0);
   EXPECT_EQ(migrate.migrations + migrate.sla_violations,
             migrate.failure_hit);
+  EXPECT_EQ(migrate.repairs_patched + migrate.repairs_reembedded +
+                migrate.repairs_batched,
+            migrate.migrations);
+  EXPECT_EQ(migrate.repairs_batched, 0);  // per-request policy never batches
+
+  EXPECT_GT(batched.migrations, 0);
+  EXPECT_EQ(batched.migrations + batched.sla_violations,
+            batched.failure_hit);
+  EXPECT_EQ(batched.repairs_patched + batched.repairs_reembedded +
+                batched.repairs_batched,
+            batched.migrations);
+
   EXPECT_EQ(drop.migrations, 0);
   EXPECT_EQ(drop.sla_violations, drop.failure_hit);
   EXPECT_LT(migrate.sla_violations, drop.sla_violations);
+  EXPECT_LE(batched.sla_violations, drop.sla_violations);
 
   // A failure-free run of the same scenario reports zeroed dynamics.
   core::ScenarioConfig calm = cfg;
@@ -273,7 +292,10 @@ TEST(EngineFailures, DropAndMigrateSemantics) {
   EXPECT_EQ(none.sla_violations, 0);
 }
 
-TEST(EngineFailures, SlotOffRejectsFailureTraces) {
+TEST(EngineFailures, SlotOffRunsUnderFailureTraces) {
+  // The per-slot OFF-VNE masters price the current capacities (PR-6 lifted
+  // the old rejection), so SLOTOFF accepts failure traces and keeps
+  // serving demand through them.
   core::ScenarioConfig cfg;
   cfg.topology = "Iris";
   cfg.seed = 7;
@@ -285,7 +307,214 @@ TEST(EngineFailures, SlotOffRejectsFailureTraces) {
   cfg.failures.node_mtbf = 100;
   const core::Scenario sc = core::build_scenario(cfg);
   ASSERT_FALSE(sc.failure_trace.empty());
-  EXPECT_THROW(core::run_algorithm(sc, "SlotOff"), InvalidArgument);
+  const core::SimMetrics m = core::run_algorithm(sc, "SlotOff");
+  EXPECT_GT(m.failures, 0);
+  EXPECT_GT(m.accepted, 0);
+  // SLOTOFF re-seats every slot: failure-driven drops surface as
+  // rejections/preemptions, not as migration counters.
+  EXPECT_EQ(m.migrations, 0);
+  EXPECT_EQ(m.sla_violations, 0);
+}
+
+TEST(SharedRisk, DerivedGroupsCoverRacksAndPods) {
+  Rng rng(11);
+  const net::SubstrateNetwork s = topo::fat_tree(rng, 4);
+  const auto groups = workload::derive_shared_risk_groups(s);
+
+  // One rack per non-edge node (4 core + 16 pod switches) plus 4 pods.
+  int racks = 0, pods = 0;
+  for (const auto& g : groups) {
+    EXPECT_FALSE(g.elements.empty()) << g.name;
+    std::set<int> seen;
+    for (const int e : g.elements) {
+      EXPECT_GE(e, 0);
+      EXPECT_LT(e, s.element_count());
+      EXPECT_TRUE(seen.insert(e).second) << g.name << " repeats an element";
+    }
+    if (g.name.rfind("rack:", 0) == 0) {
+      ++racks;
+      // A rack is one node plus its incident links.
+      ASSERT_TRUE(s.element_is_node(g.elements[0]));
+      EXPECT_EQ(g.elements.size(),
+                1 + s.adjacency(g.elements[0]).size());
+    } else {
+      ASSERT_EQ(g.name.rfind("pod:", 0), 0u) << g.name;
+      ++pods;
+      // Edge-tier hosts are spared by default; pod-internal links are not.
+      bool has_link = false;
+      for (const int e : g.elements) {
+        if (s.element_is_node(e))
+          EXPECT_NE(s.node(e).tier, net::Tier::Edge) << g.name;
+        else
+          has_link = true;
+      }
+      EXPECT_TRUE(has_link) << g.name;
+    }
+  }
+  EXPECT_EQ(racks, 20);
+  EXPECT_EQ(pods, 4);
+
+  // The derived groups pass config validation as-is.
+  workload::FailureConfig cfg;
+  cfg.group_mtbf = 100;
+  cfg.groups = groups;
+  EXPECT_NO_THROW(workload::validate_failure_config(cfg, s));
+}
+
+TEST(SharedRisk, ConfigValidationDiagnosesMalformedGroupsAndWindows) {
+  const net::SubstrateNetwork s = tiny_substrate();
+  workload::FailureConfig cfg;
+  cfg.group_mtbf = 100;
+
+  cfg.groups = {{"empty", {}}};
+  EXPECT_THROW(workload::validate_failure_config(cfg, s), InvalidArgument);
+  cfg.groups = {{"oob", {99}}};
+  EXPECT_THROW(workload::validate_failure_config(cfg, s), InvalidArgument);
+  cfg.groups = {{"dup", {1, 4, 1}}};
+  EXPECT_THROW(workload::validate_failure_config(cfg, s), InvalidArgument);
+  cfg.groups = {{"ok", {1, 4}}};
+  EXPECT_NO_THROW(workload::validate_failure_config(cfg, s));
+
+  workload::MaintenanceWindow w;
+  w.elements = {1};
+  w.slot = -1;
+  cfg.maintenance = {w};
+  EXPECT_THROW(workload::validate_failure_config(cfg, s), InvalidArgument);
+  w.slot = 5;
+  w.duration = 0;
+  cfg.maintenance = {w};
+  EXPECT_THROW(workload::validate_failure_config(cfg, s), InvalidArgument);
+  w.duration = 3;
+  w.elements = {99};
+  cfg.maintenance = {w};
+  EXPECT_THROW(workload::validate_failure_config(cfg, s), InvalidArgument);
+  // A tier-selection window with count = 0 resolves to no elements.
+  w.elements.clear();
+  w.count = 0;
+  cfg.maintenance = {w};
+  EXPECT_THROW(workload::validate_failure_config(cfg, s), InvalidArgument);
+  w.count = 2;
+  cfg.maintenance = {w};
+  EXPECT_NO_THROW(workload::validate_failure_config(cfg, s));
+
+  // The generator validates up front with the same rules.
+  cfg.maintenance = {};
+  cfg.groups = {{"oob", {99}}};
+  Rng rng(1);
+  EXPECT_THROW(workload::generate_failure_trace(s, cfg, 100, rng),
+               InvalidArgument);
+}
+
+TEST(SharedRisk, MaintenanceWindowsAreDeterministic) {
+  const net::SubstrateNetwork s = tiny_substrate();
+  workload::FailureConfig cfg;
+  workload::MaintenanceWindow w;
+  w.slot = 5;
+  w.duration = 3;
+  w.elements = {1, 4};  // node tr0 and link tr0-tr1
+  cfg.maintenance = {w};
+  ASSERT_TRUE(cfg.enabled());
+
+  // Maintenance consumes no randomness: any seed yields the same trace.
+  Rng a(1), b(999);
+  const auto trace = workload::generate_failure_trace(s, cfg, 100, a);
+  const auto other = workload::generate_failure_trace(s, cfg, 100, b);
+  ASSERT_EQ(trace.size(), 4u);
+  ASSERT_EQ(other.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].slot, other[i].slot);
+    EXPECT_EQ(trace[i].kind, other[i].kind);
+    EXPECT_EQ(trace[i].element, other[i].element);
+  }
+
+  using K = workload::FailureKind;
+  EXPECT_EQ(trace[0].slot, 5);
+  EXPECT_EQ(trace[0].kind, K::NodeDown);
+  EXPECT_EQ(trace[0].element, 1);
+  EXPECT_EQ(trace[1].slot, 5);
+  EXPECT_EQ(trace[1].kind, K::LinkDown);
+  EXPECT_EQ(trace[1].element, 4);
+  // Exact recovery at slot + duration, node before link (element order).
+  EXPECT_EQ(trace[2].slot, 8);
+  EXPECT_EQ(trace[2].kind, K::NodeUp);
+  EXPECT_EQ(trace[2].element, 1);
+  EXPECT_EQ(trace[3].slot, 8);
+  EXPECT_EQ(trace[3].kind, K::LinkUp);
+  EXPECT_EQ(trace[3].element, 4);
+}
+
+TEST(SharedRisk, GroupMembersFailTogether) {
+  const net::SubstrateNetwork s = tiny_substrate();
+  workload::FailureConfig cfg;
+  cfg.group_mtbf = 40;
+  cfg.repair_mean = 5;
+  cfg.max_down_fraction = 1.0;
+  cfg.groups = {{"duct", {1, 4}}};
+  ASSERT_TRUE(cfg.enabled());
+
+  Rng rng(3);
+  const auto trace = workload::generate_failure_trace(s, cfg, 500, rng);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_NO_THROW(workload::validate_failure_trace(trace, s));
+
+  // The group is the only hazard and its members share each incident's
+  // outage draw, so downs and ups always come in same-slot {1, 4} pairs.
+  using K = workload::FailureKind;
+  for (std::size_t i = 0; i < trace.size(); i += 2) {
+    ASSERT_LT(i + 1, trace.size());
+    EXPECT_EQ(trace[i].slot, trace[i + 1].slot);
+    EXPECT_EQ(trace[i].element, 1);
+    EXPECT_EQ(trace[i + 1].element, 4);
+    const bool is_down = trace[i].kind == K::NodeDown;
+    EXPECT_EQ(trace[i].kind, is_down ? K::NodeDown : K::NodeUp);
+    EXPECT_EQ(trace[i + 1].kind, is_down ? K::LinkDown : K::LinkUp);
+  }
+}
+
+TEST(Migrator, PlanBatchJointlyReassigns) {
+  const net::SubstrateNetwork s = tiny_substrate();
+  const auto apps = one_app();
+  core::LoadTracker load(s);
+
+  // Two requests hosted on tr1; killing it breaks both at once.  A joint
+  // batch solve must seat both on the surviving tr0 — a feasible pair only
+  // if the solve accounts for their combined demand.
+  net::Embedding broken;
+  broken.node_map = {0, 2};
+  broken.link_paths = {{2}};  // direct edge0-tr1 link
+
+  workload::Request r1, r2;
+  r1.id = 1;
+  r1.app = 0;
+  r1.ingress = 0;
+  r1.demand = 9;
+  r2 = r1;
+  r2.id = 2;
+
+  load.set_capacity(2, 0);  // tr1 dies
+  core::Migrator migrator(s, apps);
+  const std::vector<const workload::Request*> batch{&r1, &r2};
+  const auto seats = migrator.plan_batch(batch, load);
+  ASSERT_EQ(seats.size(), 2u);
+  core::LoadTracker check = load;
+  for (std::size_t i = 0; i < seats.size(); ++i) {
+    ASSERT_TRUE(seats[i].has_value()) << "request " << i;
+    EXPECT_NE(seats[i]->node_map[1], 2);
+    EXPECT_TRUE(net::is_valid_embedding(s, apps[0].topology, *seats[i]));
+    // Jointly feasible: both fit the residual capacities simultaneously.
+    const core::Usage u = net::unit_usage(s, apps[0].topology, *seats[i]);
+    ASSERT_TRUE(check.fits(u, batch[i]->demand));
+    check.apply(u, batch[i]->demand);
+  }
+  EXPECT_EQ(migrator.stats().batch_solves, 1);
+  EXPECT_EQ(migrator.stats().batch_placed, 2);
+
+  // Singleton batches are not worth a master solve: all-nullopt tells the
+  // caller to use the staged per-request ladder.
+  const std::vector<const workload::Request*> single{&r1};
+  const auto none = migrator.plan_batch(single, load);
+  ASSERT_EQ(none.size(), 1u);
+  EXPECT_FALSE(none[0].has_value());
 }
 
 /// A planless embedder must make the engine refuse substrate dynamics

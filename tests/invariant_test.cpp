@@ -14,8 +14,9 @@
 //      have capacity.
 //
 // The suite sweeps Iris / CittaStudi / FatTree4, each with and without a
-// failure stream (migration repair on), plus a drop-only and an
-// edge-failure stress case.
+// failure stream (batched repair on), plus per-request-migration,
+// drop-only, edge-failure, and correlated (shared-risk group +
+// maintenance) stress cases.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -94,7 +95,8 @@ struct CaseConfig {
   std::string topology;
   bool failures = false;
   bool fail_edge = false;
-  bool migrate = true;
+  core::RepairPolicy repair = core::RepairPolicy::Batched;
+  bool correlated = false;  ///< derived shared-risk groups + maintenance
 };
 
 core::SimMetrics run_checked(const CaseConfig& cc, int* checks_out) {
@@ -113,14 +115,22 @@ core::SimMetrics run_checked(const CaseConfig& cc, int* checks_out) {
     cfg.failures.rescale_rate = 0.05;
     cfg.failures.fail_edge = cc.fail_edge;
   }
+  if (cc.correlated) {
+    cfg.failures.derive_groups = true;
+    cfg.failures.group_mtbf = 400;
+    workload::MaintenanceWindow w;
+    w.slot = 40;
+    w.duration = 15;
+    w.tier = net::Tier::Transport;
+    w.count = 2;
+    cfg.failures.maintenance.push_back(w);
+  }
   const core::Scenario sc = core::build_scenario(cfg);
 
   engine::EngineConfig ecfg;
   ecfg.sim = cfg.sim;
   ecfg.failures.trace = sc.failure_trace;
-  ecfg.failures.repair = cc.migrate
-                             ? engine::FailureHandling::Repair::Migrate
-                             : engine::FailureHandling::Repair::Drop;
+  ecfg.failures.repair = cc.repair;
   engine::Engine eng(sc.substrate, sc.apps, ecfg);
   core::OliveEmbedder algo(sc.substrate, sc.apps, sc.plan);
   InvariantChecker checker(algo, sc.substrate, sc.apps);
@@ -141,7 +151,7 @@ TEST_P(InvariantTest, HoldsEverySlotWithoutFailures) {
   EXPECT_EQ(metrics.failures, 0);
 }
 
-TEST_P(InvariantTest, HoldsEverySlotUnderFailuresWithMigration) {
+TEST_P(InvariantTest, HoldsEverySlotUnderFailuresWithBatchedRepair) {
   int checks = 0;
   const auto metrics = run_checked({GetParam(), true}, &checks);
   EXPECT_GT(checks, 50);
@@ -149,23 +159,48 @@ TEST_P(InvariantTest, HoldsEverySlotUnderFailuresWithMigration) {
   EXPECT_GT(metrics.failure_hit, 0);
   EXPECT_EQ(metrics.migrations + metrics.sla_violations,
             metrics.failure_hit);
+  EXPECT_EQ(metrics.repairs_patched + metrics.repairs_reembedded +
+                metrics.repairs_batched,
+            metrics.migrations);
 }
 
 INSTANTIATE_TEST_SUITE_P(Topologies, InvariantTest,
                          ::testing::Values("Iris", "CittaStudi", "FatTree4"),
                          [](const auto& info) { return info.param; });
 
+TEST(InvariantTest2, HoldsUnderPerRequestMigration) {
+  int checks = 0;
+  const auto metrics = run_checked(
+      {"Iris", true, false, core::RepairPolicy::Migrate}, &checks);
+  EXPECT_GT(metrics.failure_hit, 0);
+  EXPECT_EQ(metrics.migrations + metrics.sla_violations,
+            metrics.failure_hit);
+  EXPECT_EQ(metrics.repairs_batched, 0);
+}
+
 TEST(InvariantTest2, HoldsUnderDropOnlyRepair) {
   int checks = 0;
-  const auto metrics = run_checked({"Iris", true, false, false}, &checks);
+  const auto metrics = run_checked(
+      {"Iris", true, false, core::RepairPolicy::Drop}, &checks);
   EXPECT_GT(metrics.sla_violations, 0);
   EXPECT_EQ(metrics.migrations, 0);
 }
 
 TEST(InvariantTest2, HoldsWhenEdgeNodesFailToo) {
   int checks = 0;
-  const auto metrics = run_checked({"Iris", true, true, true}, &checks);
+  const auto metrics = run_checked(
+      {"Iris", true, true, core::RepairPolicy::Migrate}, &checks);
   EXPECT_GT(metrics.failures, 0);
+}
+
+TEST(InvariantTest2, HoldsUnderCorrelatedFailuresAndMaintenance) {
+  int checks = 0;
+  const auto metrics = run_checked(
+      {"Iris", true, false, core::RepairPolicy::Batched, true}, &checks);
+  EXPECT_GT(checks, 50);
+  EXPECT_GT(metrics.failures, 0);
+  EXPECT_EQ(metrics.migrations + metrics.sla_violations,
+            metrics.failure_hit);
 }
 
 }  // namespace

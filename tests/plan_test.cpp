@@ -273,6 +273,57 @@ TEST(PlanVne, ColumnCacheAcceleratesRepeatSolves) {
   EXPECT_LE(warm.columns_generated, cold.columns_generated);
 }
 
+TEST(PlanVne, CapacityOverlayScalesRowsAndExcludesDeadElements) {
+  const auto s = small_network(100, 60);
+  const auto apps = one_chain_app();
+  std::vector<AggregateRequest> aggs;
+  aggs.push_back({0, 0, 8.0, 8.0, 3});
+
+  // An empty overlay is the nominal solve, bit for bit.
+  PlanSolveInfo nominal, empty_overlay;
+  const Plan base = solve_plan_vne(s, apps, aggs, {}, &nominal);
+  PlanVneConfig cfg;
+  cfg.capacities = {};
+  const Plan same = solve_plan_vne(s, apps, aggs, cfg, &empty_overlay);
+  EXPECT_EQ(nominal.objective, empty_overlay.objective);
+  EXPECT_EQ(base.objective(), same.objective());
+
+  // Kill node 1 (the cheapest host): no plan column may touch it, and the
+  // plan must stay feasible against the *overlay* capacities.
+  cfg.capacities.assign(s.element_count(), 0.0);
+  for (int e = 0; e < s.element_count(); ++e)
+    cfg.capacities[e] = s.element_capacity(e);
+  cfg.capacities[1] = 0.0;
+  const Plan degraded = solve_plan_vne(s, apps, aggs, cfg);
+  ASSERT_EQ(degraded.num_classes(), 1);
+  EXPECT_GT(degraded.cls(0).accepted_fraction(), 0.0);
+  std::vector<double> load(s.element_count(), 0.0);
+  for (const auto& col : degraded.cls(0).columns) {
+    for (const auto& [elem, amt] : col.usage) {
+      EXPECT_NE(elem, 1) << "plan column touches the dead node";
+      load[elem] += col.fraction * 8.0 * amt;
+    }
+  }
+  for (int e = 0; e < s.element_count(); ++e)
+    EXPECT_LE(load[e], cfg.capacities[e] * (1 + 1e-6)) << "element " << e;
+  // Avoiding the cheapest host costs optimality: the overlay objective
+  // must be at least the nominal one.
+  EXPECT_GE(degraded.objective(), base.objective() - 1e-9);
+
+  // A partial (rescaled) capacity shrinks the planned load on the element.
+  cfg.capacities[1] = 20.0;  // node 1 at 20% of nominal
+  const Plan rescaled = solve_plan_vne(s, apps, aggs, cfg);
+  double on_node1 = 0;
+  for (const auto& col : rescaled.cls(0).columns)
+    for (const auto& [elem, amt] : col.usage)
+      if (elem == 1) on_node1 += col.fraction * 8.0 * amt;
+  EXPECT_LE(on_node1, 20.0 * (1 + 1e-6));
+
+  // Wrong overlay length is rejected with a diagnostic.
+  cfg.capacities.resize(3);
+  EXPECT_THROW(solve_plan_vne(s, apps, aggs, cfg), InvalidArgument);
+}
+
 TEST(DefaultPsi, PricesMostExpensiveElements) {
   const auto s = small_network();  // max node cost 4, max link cost 1
   const auto vn = net::VirtualNetwork::chain({10, 10}, {5, 5});
