@@ -386,7 +386,7 @@ inline void write_json(const std::string& bench,
 }
 
 // ---------------------------------------------------------------------------
-// BENCH_perf.json emission (schema olive-perf-v4, see EXPERIMENTS.md).
+// BENCH_perf.json emission (schema olive-perf-v5, see EXPERIMENTS.md).
 // Shared here so the perf harness and any future bench emit identical rows.
 
 /// One measured case of the perf trajectory.
@@ -412,6 +412,13 @@ struct PerfCase {
   /// v4: mid-run re-plans installed by the engine's ReplanPolicy
   /// (replan_window case only; 0 elsewhere).
   long replans = 0;
+  /// v5 (scale_xl streamed cases only; 0/-1 elsewhere): requests served by
+  /// the streamed run, the requests/sec throughput headline, and the
+  /// process peak RSS (getrusage ru_maxrss) after the run — the CI smoke
+  /// holds the last one under a ceiling to pin the flat-memory contract.
+  long requests = 0;
+  double requests_per_sec = -1;
+  double rss_mb = -1;
 };
 
 inline std::string json_num(double v) {
@@ -425,7 +432,7 @@ inline void write_perf_json(const std::string& path, const BenchScale& scale,
                             const std::vector<PerfCase>& cases) {
   std::ofstream out(path);
   out << "{\n"
-      << "  \"schema\": \"olive-perf-v4\",\n"
+      << "  \"schema\": \"olive-perf-v5\",\n"
       << "  \"scale\": \"" << (scale.full ? "full" : "quick") << "\",\n"
       << "  \"pricing_threads\": " << pricing_threads << ",\n"
       << "  \"harness_threads\": 1,\n"
@@ -446,7 +453,10 @@ inline void write_perf_json(const std::string& path, const BenchScale& scale,
         << ", \"warm_start_hits\": " << c.warm_start_hits
         << ", \"objective\": " << json_num(c.objective)
         << ", \"rejection_rate\": " << json_num(c.rejection_rate)
-        << ", \"replans\": " << c.replans << "}"
+        << ", \"replans\": " << c.replans
+        << ", \"requests\": " << c.requests
+        << ", \"requests_per_sec\": " << json_num(c.requests_per_sec)
+        << ", \"rss_mb\": " << json_num(c.rss_mb) << "}"
         << (i + 1 < cases.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

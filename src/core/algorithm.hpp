@@ -34,7 +34,7 @@ struct EmbedOutcome {
   /// layer needs it to repair allocations broken by failures.
   net::Embedding embedding;
   /// Requests preempted to make room (their resources are already released).
-  std::vector<int> preempted_ids;
+  std::vector<workload::RequestId> preempted_ids;
 
   bool accepted() const noexcept { return kind != OutcomeKind::Rejected; }
 };

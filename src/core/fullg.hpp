@@ -52,7 +52,7 @@ class FullGreedyEmbedder final : public OnlineEmbedder {
   const std::vector<net::Application>& apps_;
   lp::MipOptions mip_options_;
   LoadTracker load_;
-  std::unordered_map<int, Active> active_;
+  std::unordered_map<workload::RequestId, Active> active_;
 };
 
 }  // namespace olive::core

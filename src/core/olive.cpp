@@ -63,7 +63,7 @@ double OliveEmbedder::plan_residual(int cls, int column) const {
 EmbedOutcome OliveEmbedder::allocate(const workload::Request& r,
                                      const net::Embedding& e, OutcomeKind kind,
                                      int cls, int column,
-                                     std::vector<int> preempted) {
+                                     std::vector<workload::RequestId> preempted) {
   EmbedOutcome out;
   out.kind = kind;
   out.usage = net::unit_usage(substrate_, apps_[r.app].topology, e);
@@ -88,15 +88,15 @@ EmbedOutcome OliveEmbedder::allocate(const workload::Request& r,
   return out;
 }
 
-std::optional<std::vector<int>> OliveEmbedder::preempt(const Usage& usage,
-                                                       double demand) {
+std::optional<std::vector<workload::RequestId>> OliveEmbedder::preempt(
+    const Usage& usage, double demand) {
   // Deficiency per element that the new allocation would overdraw.
   std::vector<std::pair<int, double>> deficit;
   for (const auto& [elem, amount] : usage) {
     const double need = amount * demand - load_.residual(elem);
     if (need > 1e-9) deficit.emplace_back(elem, need);
   }
-  if (deficit.empty()) return std::vector<int>{};
+  if (deficit.empty()) return std::vector<workload::RequestId>{};
 
   // Candidate victims: non-planned active allocations that touch a
   // deficient element, smallest demand first (the paper does not fix a
@@ -112,7 +112,7 @@ std::optional<std::vector<int>> OliveEmbedder::preempt(const Usage& usage,
     }
     return false;
   };
-  std::vector<std::pair<int, const Active*>> candidates;
+  std::vector<std::pair<workload::RequestId, const Active*>> candidates;
   for (const auto& [id, a] : active_)
     if (!a.planned && touches_deficit(a)) candidates.emplace_back(id, &a);
   std::sort(candidates.begin(), candidates.end(),
@@ -122,7 +122,7 @@ std::optional<std::vector<int>> OliveEmbedder::preempt(const Usage& usage,
               return x.second->order > y.second->order;
             });
 
-  std::vector<int> victims;
+  std::vector<workload::RequestId> victims;
   double victim_demand = 0;
   for (const auto& [id, a] : candidates) {
     bool helps = false;
@@ -153,7 +153,7 @@ std::optional<std::vector<int>> OliveEmbedder::preempt(const Usage& usage,
         [](const auto& d) { return d.second <= 1e-9; });
     if (covered) {
       // Commit: release the victims' resources and drop them.
-      for (const int vid : victims) {
+      for (const workload::RequestId vid : victims) {
         const Active& victim = active_.at(vid);
         load_.release(victim.usage, victim.demand);
         active_.erase(vid);

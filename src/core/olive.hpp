@@ -68,7 +68,7 @@ class OliveEmbedder final : public OnlineEmbedder {
   /// Snapshot of the active allocations, sorted by request id — the
   /// simulation-level invariant checker reconciles this against load().
   struct ActiveAllocation {
-    int id = -1;
+    workload::RequestId id = -1;
     int app = -1;
     double demand = 0;
     Usage usage;
@@ -89,13 +89,14 @@ class OliveEmbedder final : public OnlineEmbedder {
 
   EmbedOutcome allocate(const workload::Request& r, const net::Embedding& e,
                         OutcomeKind kind, int cls, int column,
-                        std::vector<int> preempted);
+                        std::vector<workload::RequestId> preempted);
 
   /// Frees non-planned allocations overlapping the deficient elements until
   /// `usage`*demand fits, newest victims first.  Returns the preempted ids,
   /// or nullopt (and changes nothing) if even preempting every non-planned
   /// allocation would not make room.
-  std::optional<std::vector<int>> preempt(const Usage& usage, double demand);
+  std::optional<std::vector<workload::RequestId>> preempt(const Usage& usage,
+                                                          double demand);
 
   const net::SubstrateNetwork& substrate_;
   const std::vector<net::Application>& apps_;
@@ -104,7 +105,7 @@ class OliveEmbedder final : public OnlineEmbedder {
   OliveOptions options_;
   LoadTracker load_;
   std::vector<std::vector<double>> plan_used_;  // [class][column] demand
-  std::unordered_map<int, Active> active_;
+  std::unordered_map<workload::RequestId, Active> active_;
   int admission_counter_ = 0;
 };
 

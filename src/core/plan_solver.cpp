@@ -330,7 +330,14 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
   PlanSolveInfo local_info;
   local_info.pricing_threads = threads;
 
-  lp::Simplex solver(master, config.lp);
+  // Tall-master pricing switch: Dantzig's pivot counts blow up with the row
+  // count, steepest edge's stay near-flat (docs/lp.md).  The threshold sits
+  // above every pinned small-topology master so their goldens are untouched.
+  lp::SimplexOptions lp_opts = config.lp;
+  if (config.steepest_edge_rows > 0 &&
+      n_elems + n_classes >= config.steepest_edge_rows)
+    lp_opts.pricing = lp::PricingRule::SteepestEdge;
+  lp::Simplex solver(master, lp_opts);
   // Basis continuity: start from the previous solve's optimal basis when
   // one was carried in and still fits (surviving rows/columns matched by
   // key; misses fall back to the all-slack cold start).
@@ -442,6 +449,10 @@ Plan solve_plan_vne(const net::SubstrateNetwork& s,
       bucket.columns = std::move(rebuilt);
       bucket.fingerprints = std::move(kept);
     }
+    // Age out least-recently-touched buckets beyond the global budget so
+    // unbounded solve sequences (day-long re-plan loops, streamed scale_xl
+    // runs) hold a flat cache footprint.
+    cache->trim();
   }
 
   // Extract the plan.

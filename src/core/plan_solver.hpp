@@ -22,9 +22,11 @@
 // class is starved — the paper's novel starvation-prevention device.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/plan.hpp"
@@ -52,6 +54,14 @@ struct PlanVneConfig {
   /// tests/parallel_determinism_test.cpp).
   int threads = 0;
   lp::SimplexOptions lp;
+  /// Pricing-rule auto-switch for the master: when the master has at least
+  /// this many rows (capacity rows + convexity rows), `lp.pricing` is
+  /// upgraded to SteepestEdge for the solve.  Dantzig pivot counts grow
+  /// roughly with the row count on the tall scale_xl masters (FatTree16+,
+  /// CaidaIsp) while steepest edge stays near-flat; small masters keep the
+  /// configured rule so every pinned golden objective and trace is
+  /// byte-identical to the pre-knob solver.  0 disables the switch.
+  int steepest_edge_rows = 2000;
   /// Current-capacity overlay for the Eq. 15 rows (flat element indexing;
   /// when non-empty, must have exactly element_count entries).  Empty — the
   /// default — prices against the substrate's nominal capacities, with
@@ -118,21 +128,70 @@ class PlanColumnCache {
     std::vector<CachedColumn> columns;
     /// Fingerprints of `columns`, for O(1) duplicate checks.
     std::unordered_set<std::uint64_t> fingerprints;
+    /// LRU age: the cache-wide tick of the last bucket() access.  Every
+    /// solve touches its classes' buckets (seed + feedback), so a bucket's
+    /// tick tracks the most recent solve that could still warm-start from
+    /// its columns.
+    long long last_used = 0;
   };
 
+  PlanColumnCache() = default;
+  /// `max_columns` is the cache-wide column budget enforced by trim().
+  explicit PlanColumnCache(std::size_t max_columns)
+      : max_columns_(max_columns) {}
+
   Bucket& bucket(int app, net::NodeId ingress) {
-    return buckets_[key(app, ingress)];
+    Bucket& b = buckets_[key(app, ingress)];
+    b.last_used = ++tick_;
+    return b;
   }
 
   /// Small cap: the LP rarely uses more than a couple of columns per class,
   /// and an over-seeded master makes every per-slot solve pay for it.
   static constexpr std::size_t kMaxPerBucket = 10;
 
+  /// Default global budget: generous enough that no small-topology run ever
+  /// evicts (FatTree8 has ~512 classes ⇒ ≤ 5120 columns), yet it holds a
+  /// day-long scale_xl loop over an ISP-scale class space to a flat,
+  /// bounded footprint.
+  static constexpr std::size_t kDefaultMaxColumns = 65536;
+
+  std::size_t max_columns() const noexcept { return max_columns_; }
+  std::size_t total_columns() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [k, b] : buckets_) n += b.columns.size();
+    return n;
+  }
+
+  /// Enforces the global budget by evicting whole least-recently-used
+  /// buckets (oldest tick first, ties broken by class key — deterministic)
+  /// until the total column count fits.  Whole-bucket eviction keeps the
+  /// warm-start story simple: a class either re-seeds all its cached
+  /// columns (so a carried basis referencing them still lands) or re-prices
+  /// from scratch like a brand-new class.  solve_plan_vne calls this after
+  /// its feedback pass; long re-plan/SLOTOFF loops therefore hold flat RSS.
+  void trim() {
+    std::size_t total = total_columns();
+    if (total <= max_columns_) return;
+    std::vector<std::pair<long long, long long>> order;  // (tick, key)
+    order.reserve(buckets_.size());
+    for (const auto& [k, b] : buckets_) order.emplace_back(b.last_used, k);
+    std::sort(order.begin(), order.end());
+    for (const auto& [tick, k] : order) {
+      if (total <= max_columns_) break;
+      const auto it = buckets_.find(k);
+      total -= it->second.columns.size();
+      buckets_.erase(it);
+    }
+  }
+
  private:
   static long long key(int app, net::NodeId ingress) {
     return class_key(app, ingress);
   }
   std::unordered_map<long long, Bucket> buckets_;
+  std::size_t max_columns_ = kDefaultMaxColumns;
+  long long tick_ = 0;
 };
 
 /// The paper's conservative rejection penalty for application `app`: the

@@ -15,12 +15,15 @@ net::SubstrateNetwork build_topology(const std::string& name, Rng& rng) {
   if (name == "CittaStudi") return topo::citta_studi(rng);
   if (name == "5GEN") return topo::fivegen(rng);
   if (name == "100N150E") return topo::erdos_renyi(rng);
-  // Synthetic scale family: "FatTree<k>" (k even), e.g. FatTree4, FatTree8.
+  // Synthetic scale family: "FatTree<k>" (k even), e.g. FatTree4, FatTree8,
+  // and the scale_xl tier's FatTree16 / FatTree32.
   if (name.rfind("FatTree", 0) == 0) {
     const int k = std::atoi(name.c_str() + 7);
     OLIVE_REQUIRE(k >= 2, "FatTree topology needs an arity, e.g. FatTree8");
     return topo::fat_tree(rng, k);
   }
+  // ISP-scale scale_xl scenario shaped like the CAIDA source model.
+  if (name == "CaidaIsp") return topo::caida_isp(rng);
   throw InvalidArgument("unknown topology: " + name);
 }
 

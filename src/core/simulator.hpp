@@ -54,7 +54,7 @@ struct SimulatorConfig {
 };
 
 struct RequestRecord {
-  int id = -1;
+  workload::RequestId id = -1;
   int arrival = 0, duration = 0;
   int app = -1;
   net::NodeId ingress = -1;

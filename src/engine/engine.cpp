@@ -158,11 +158,11 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
     core::Usage usage;
     net::Embedding embedding;
   };
-  std::unordered_map<int, Info> info;
+  std::unordered_map<workload::RequestId, Info> info;
   info.reserve(trace.size());
   // id -> index into metrics.records, so preemption bookkeeping is O(1)
   // instead of a linear rescan of every record per victim.
-  std::unordered_map<int, std::size_t> record_index;
+  std::unordered_map<workload::RequestId, std::size_t> record_index;
   if (sim.record_requests) record_index.reserve(trace.size());
 
   // Departure calendar for accepted requests.
@@ -258,7 +258,7 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
       // Embeddings broken by the event: everything touching a down
       // element; for a rescale, the newest allocations that keep the
       // element over-committed.
-      std::vector<int> broken;
+      std::vector<workload::RequestId> broken;
       const bool went_down = ev.kind == workload::FailureKind::NodeDown ||
                              ev.kind == workload::FailureKind::LinkDown;
       if (went_down) {
@@ -268,7 +268,7 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
         std::sort(broken.begin(), broken.end());
       } else if (ev.kind == workload::FailureKind::Rescale &&
                  algo.load().residual(ev.element) < -1e-6) {
-        std::vector<int> touching;
+        std::vector<workload::RequestId> touching;
         for (const auto& [id, inf] : info)
           if (inf.accepted && usage_on(inf.usage, ev.element) > 0)
             touching.push_back(id);
@@ -276,7 +276,7 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
         // feasible again (older allocations keep their service).
         std::sort(touching.begin(), touching.end(), std::greater<>());
         double residual = algo.load().residual(ev.element);
-        for (const int id : touching) {
+        for (const workload::RequestId id : touching) {
           if (residual >= -1e-6) break;
           broken.push_back(id);
           residual += usage_on(info.at(id).usage, ev.element) *
@@ -287,7 +287,7 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
 
       // Evict every broken allocation first, then repair — each repair
       // prices against the fully freed residual.
-      for (const int id : broken) {
+      for (const workload::RequestId id : broken) {
         const Info& inf = info.at(id);
         algo.depart(*inf.req);
         active_cost -= inf.req->demand * inf.unit_cost;
@@ -338,12 +338,12 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
       if (policy == core::RepairPolicy::Batched && broken.size() >= 2) {
         std::vector<const workload::Request*> reqs;
         reqs.reserve(broken.size());
-        for (const int id : broken) reqs.push_back(info.at(id).req);
+        for (const workload::RequestId id : broken) reqs.push_back(info.at(id).req);
         batch = migrator.plan_batch(reqs, algo.load());
       }
 
       for (std::size_t bi = 0; bi < broken.size(); ++bi) {
-        const int id = broken[bi];
+        const workload::RequestId id = broken[bi];
         Info& inf = info.at(id);
         const workload::Request& vr = *inf.req;
         bool repaired = false;
@@ -438,7 +438,7 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
       if (t + r.duration <= n_slots)
         departures[t + r.duration].push_back(&r);
 
-      for (const int victim_id : outcome.preempted_ids) {
+      for (const workload::RequestId victim_id : outcome.preempted_ids) {
         auto& vi = info.at(victim_id);
         OLIVE_ASSERT(vi.accepted);
         vi.accepted = false;
@@ -470,6 +470,134 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
   for (int t = 0; t < n_slots; ++t) {
     acc += alloc_diff[t];
     metrics.allocated_series[t] = acc;
+  }
+  return metrics;
+}
+
+SimMetrics Engine::run_stream(core::OnlineEmbedder& algo,
+                              workload::TraceStream& stream) {
+  const SimulatorConfig& sim = config_.sim;
+  OLIVE_REQUIRE(config_.failures.trace.empty(),
+                "run_stream does not support failure traces (repair needs "
+                "per-request embedding snapshots)");
+  OLIVE_REQUIRE(config_.replan.period == 0,
+                "run_stream does not support mid-run re-planning (the "
+                "policy clips windows out of the materialized trace)");
+  OLIVE_REQUIRE(!sim.record_requests,
+                "run_stream does not keep per-request records (they grow "
+                "with the trace, defeating the streaming memory bound)");
+
+  SimMetrics metrics;
+  metrics.algorithm = algo.name();
+  metrics.rejected_by_node_app.assign(
+      substrate_.num_nodes(), std::vector<double>(apps_.size(), 0.0));
+  metrics.requests_by_node.assign(substrate_.num_nodes(), 0.0);
+
+  // Pull until the first arrival; its slot re-bases the clock exactly like
+  // run() re-bases on trace.front().arrival.
+  std::vector<workload::Request> slot_buf;
+  int cur = stream.next_slot(slot_buf);
+  while (cur >= 0 && slot_buf.empty()) cur = stream.next_slot(slot_buf);
+  if (cur < 0) return metrics;  // stream carries no requests at all
+  const int base = cur;
+
+  // run() bounds the horizon by the last arrival, which a stream cannot
+  // know in advance; the stream's declared end takes its place.  Whenever
+  // the drain cap binds (n_slots == measure_to + drain_slots, the normal
+  // long-trace regime) the two bounds agree and run()/run_stream() are
+  // bit-identical.
+  const std::vector<double> psi = resolve_psi(substrate_, apps_, sim);
+  WindowTally tally{&sim, &psi, &metrics};
+  int n_slots = std::max(stream.end_slot() - base, sim.measure_to);
+  if (sim.drain_slots >= 0)
+    n_slots = std::min(n_slots, sim.measure_to + sim.drain_slots);
+
+  std::vector<double> offered_diff(static_cast<std::size_t>(n_slots) + 1, 0.0);
+  std::vector<double> alloc_diff(static_cast<std::size_t>(n_slots) + 1, 0.0);
+
+  // Active accepted requests, stored by value and erased on departure or
+  // preemption — the whole point of the streamed drive: memory tracks the
+  // number of concurrently active requests, never the trace length.
+  struct ActiveInfo {
+    workload::Request req;
+    double unit_cost = 0;
+  };
+  std::unordered_map<workload::RequestId, ActiveInfo> active;
+  std::vector<std::vector<workload::RequestId>> departures(
+      static_cast<std::size_t>(n_slots) + 1);
+
+  algo.reset();
+  double active_cost = 0;  // Σ over active accepted of d·unit_cost
+
+  for (int t = 0; t < n_slots; ++t) {
+    for (Observer* o : observers_) o->on_slot_begin(t);
+
+    // 1. Departures at slot t (an id no longer in `active` was preempted).
+    const auto dep_start = Clock::now();
+    for (const workload::RequestId id : departures[t]) {
+      const auto it = active.find(id);
+      if (it == active.end()) continue;
+      algo.depart(it->second.req);
+      active_cost -= it->second.req.demand * it->second.unit_cost;
+      active.erase(it);
+    }
+    metrics.algo_seconds += seconds_since(dep_start);
+
+    // 2. Arrivals at slot t, in stream order.
+    if (cur >= 0 && cur - base == t) {
+      for (const workload::Request& r : slot_buf) {
+        offered_diff[t] += r.demand;
+        offered_diff[std::min(r.departure() - base, n_slots)] -= r.demand;
+        tally.offered(r, t);
+
+        const auto start = Clock::now();
+        const core::EmbedOutcome outcome = algo.embed(r);
+        metrics.algo_seconds += seconds_since(start);
+        for (Observer* o : observers_) o->on_outcome(r, outcome, t);
+
+        if (!outcome.accepted()) {
+          tally.rejected(r, t);
+          continue;
+        }
+        active.emplace(r.id, ActiveInfo{r, outcome.unit_cost});
+        active_cost += r.demand * outcome.unit_cost;
+        const int dep = std::min(t + r.duration, n_slots);
+        alloc_diff[t] += r.demand;
+        alloc_diff[dep] -= r.demand;
+        if (t + r.duration <= n_slots)
+          departures[t + r.duration].push_back(r.id);
+
+        for (const workload::RequestId victim_id : outcome.preempted_ids) {
+          const auto vit = active.find(victim_id);
+          OLIVE_ASSERT(vit != active.end());
+          const workload::Request vr = vit->second.req;
+          active_cost -= vr.demand * vit->second.unit_cost;
+          active.erase(vit);
+          const int varr = vr.arrival - base;
+          const int vdep = std::min(varr + vr.duration, n_slots);
+          alloc_diff[t] -= vr.demand;  // stops consuming now...
+          alloc_diff[vdep] += vr.demand;  // ...instead of at its departure
+          tally.preempted(vr, varr);
+        }
+      }
+      cur = stream.next_slot(slot_buf);
+    }
+
+    // 3. Accrue this slot's resource cost inside the window.
+    if (t >= sim.measure_from && t < sim.measure_to)
+      metrics.resource_cost += active_cost;
+  }
+
+  metrics.accepted = metrics.offered - metrics.rejected - metrics.preempted;
+
+  metrics.offered_series.resize(n_slots);
+  metrics.allocated_series.resize(n_slots);
+  double off_acc = 0, alloc_acc = 0;
+  for (int t = 0; t < n_slots; ++t) {
+    off_acc += offered_diff[t];
+    metrics.offered_series[t] = off_acc;
+    alloc_acc += alloc_diff[t];
+    metrics.allocated_series[t] = alloc_acc;
   }
   return metrics;
 }

@@ -36,6 +36,7 @@
 #include "net/vnet.hpp"
 #include "workload/failures.hpp"
 #include "workload/request.hpp"
+#include "workload/stream.hpp"
 
 namespace olive::engine {
 
@@ -126,6 +127,18 @@ class Engine {
   /// OnlineEmbedder::install_plan at each policy-fixed install slot.
   core::SimMetrics run(core::OnlineEmbedder& algo,
                        const workload::Trace& trace);
+
+  /// Runs a per-request online embedder over a *streamed* trace
+  /// (workload::TraceStream): requests are pulled slot by slot and active
+  /// ones stored by value, so a 10^6+-request run holds memory proportional
+  /// to the number of *concurrently active* requests, not the trace length.
+  /// Bit-identical to run() on the materialized trace whenever the stream's
+  /// declared horizon covers the drain window (pinned by
+  /// tests/engine_test.cpp).  Restrictions — enforced, not silent: no
+  /// failure trace, no re-planning, no per-request records (all three
+  /// need random access to the full trace or per-request history).
+  core::SimMetrics run_stream(core::OnlineEmbedder& algo,
+                              workload::TraceStream& stream);
 
   /// Runs the SLOTOFF baseline: one OFF-VNE master solve per slot on the
   /// slot's actual active demand.  `warm_start` carries each slot's optimal

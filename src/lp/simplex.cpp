@@ -289,19 +289,81 @@ double Simplex::reduced_cost(int c, const std::vector<double>& y,
   return d;
 }
 
-bool Simplex::price_eligible(VarStatus st, double d, double* score,
+bool Simplex::price_eligible(VarStatus st, int c, double d, double* score,
                              int* dir) const {
+  // Eligibility (reduced cost beyond opt_tol in the improving direction) is
+  // rule-independent; only the score that ranks eligible columns changes.
   if (st == VarStatus::AtLower && d < -options_.opt_tol) {
-    *score = -d;
+    *score = options_.pricing == PricingRule::Dantzig ? -d : d * d / weight_[c];
     *dir = +1;
     return true;
   }
   if (st == VarStatus::AtUpper && d > options_.opt_tol) {
-    *score = d;
+    *score = options_.pricing == PricingRule::Dantzig ? d : d * d / weight_[c];
     *dir = -1;
     return true;
   }
   return false;
+}
+
+void Simplex::reset_pricing_weights() {
+  // Called at every run() start and after every refactorization: eta-file
+  // resets invalidate nothing mathematically, but restarting the framework
+  // there keeps the approximation error bounded by the refactor interval
+  // and makes the weight state a pure function of the pivot history.
+  //
+  // Devex restarts the unit reference framework.  SteepestEdge restarts
+  // from the static norms 1 + ||a_j||^2 — exact for B = I (the cold-start
+  // slack basis) and a far better estimate of 1 + ||B^-1 a_j||^2 than 1.0
+  // for the columns the per-pivot recurrence never touches (it only
+  // updates the candidate list, so with unit resets a full scan would
+  // rank almost every column exactly like Dantzig).
+  if (options_.pricing == PricingRule::Dantzig) return;
+  weight_.assign(cols_.size(), 1.0);
+  if (options_.pricing != PricingRule::SteepestEdge) return;
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    double norm2 = 1.0;
+    for (const double v : cols_[c].vals) norm2 += v * v;
+    weight_[c] = norm2;
+  }
+}
+
+void Simplex::update_pricing_weights(int entering, int leaving, double pivot,
+                                     const std::vector<double>& rho) {
+  if (options_.pricing == PricingRule::Dantzig) return;
+  // Forrest–Goldfarb max-form recurrence over the reference framework:
+  // gamma_q is the entering column's framework weight (for SteepestEdge
+  // that framework is anchored to the exact slack-basis norms by
+  // reset_pricing_weights, for Devex it is the unit framework).
+  //
+  // The update is restricted to the candidate list: those are the only
+  // columns that can enter before the next full scan rebuilds the list
+  // (and with it the reference anchoring), so the per-pivot cost stays
+  // proportional to the working set.  With rho = row r of the old B^-1,
+  // alpha_rj = rho · a_j.
+  //
+  // (The exact Goldfarb–Reid update — subtractive term via an extra BTRAN
+  // per pivot — was measured on the FatTree16 colgen master and lost to
+  // this max form: 94975 vs 92855 pivots.  The max form never
+  // underestimates a weight, which matters when resets re-anchor the
+  // framework every refactorization anyway.)
+  const double gamma_q = weight_[entering];
+  const double inv_pivot2 = 1.0 / (pivot * pivot);
+  for (const int c : candidates_) {
+    if (c == entering) continue;
+    const VarStatus st = status_[c];
+    if (st == VarStatus::Basic || st == VarStatus::Fixed) continue;
+    const Column& col = cols_[c];
+    double arj = 0;
+    for (std::size_t k = 0; k < col.rows.size(); ++k)
+      arj += rho[col.rows[k]] * col.vals[k];
+    if (arj == 0.0) continue;
+    const double cand = arj * arj * inv_pivot2 * gamma_q;
+    if (cand > weight_[c]) weight_[c] = cand;
+  }
+  // The leaving column re-enters the nonbasic pool with the weight its own
+  // basis image implies (its image is e_r scaled by 1/pivot).
+  weight_[leaving] = std::max(gamma_q * inv_pivot2, 1.0);
 }
 
 bool Simplex::better_candidate(double score, int c, double best_score,
@@ -321,14 +383,18 @@ int Simplex::price_full_scan(const std::vector<double>& y,
                                n >= options_.partial_pricing_min_cols;
   scratch_eligible_.clear();
   int best = -1, best_dir = 0;
-  double best_score = options_.opt_tol, best_rc = 0;
+  // Weighted scores (d^2/w) can be legitimately below opt_tol for an
+  // eligible column, so only Dantzig may use the tolerance as a floor.
+  double best_score =
+      options_.pricing == PricingRule::Dantzig ? options_.opt_tol : 0.0;
+  double best_rc = 0;
   for (int c = 0; c < n; ++c) {
     const VarStatus st = status_[c];
     if (st == VarStatus::Basic || st == VarStatus::Fixed) continue;
     const double d = reduced_cost(c, y, costs);
     double score;
     int dir;
-    if (!price_eligible(st, d, &score, &dir)) continue;
+    if (!price_eligible(st, c, d, &score, &dir)) continue;
     if (bland) {  // first eligible index
       *direction = dir;
       *entering_rc = d;
@@ -382,7 +448,9 @@ int Simplex::price(const std::vector<double>& y, const std::vector<double>& cost
   // Minor iteration: reprice just the candidates (exact reduced costs under
   // the current duals), dropping the ones that are no longer attractive.
   int best = -1, best_dir = 0;
-  double best_score = options_.opt_tol, best_rc = 0;
+  double best_score =
+      options_.pricing == PricingRule::Dantzig ? options_.opt_tol : 0.0;
+  double best_rc = 0;
   std::size_t kept = 0;
   for (const int c : candidates_) {
     const VarStatus st = status_[c];
@@ -390,7 +458,7 @@ int Simplex::price(const std::vector<double>& y, const std::vector<double>& cost
     const double d = reduced_cost(c, y, costs);
     double score;
     int dir;
-    if (!price_eligible(st, d, &score, &dir)) continue;  // stale: drop
+    if (!price_eligible(st, c, d, &score, &dir)) continue;  // stale: drop
     candidates_[kept++] = c;
     if (better_candidate(score, c, best_score, best)) {
       best_score = score;
@@ -536,6 +604,7 @@ SolveResult Simplex::run(bool phase1, long& iteration_budget) {
   std::vector<double>& y = scratch_y_;
   compute_duals(costs, y);
   candidates_.clear();  // cost vector changed: stale scores mean nothing
+  reset_pricing_weights();
 
   std::vector<double>& alpha = scratch_alpha_;
   std::vector<double>& rho = scratch_rho_;
@@ -638,6 +707,7 @@ SolveResult Simplex::run(bool phase1, long& iteration_budget) {
     basis_row(leaving_row, rho);
     for (int j = 0; j < m; ++j)
       if (rho[j] != 0.0) y[j] += dual_step * rho[j];
+    update_pricing_weights(entering, leaving, pivot, rho);
 
     bool refreshed = false;
     if (sparse()) {
@@ -665,6 +735,7 @@ SolveResult Simplex::run(bool phase1, long& iteration_budget) {
     }
     if (refreshed) {
       compute_duals(costs, y);
+      reset_pricing_weights();
       pivots_since_refactor = 0;
     }
   }

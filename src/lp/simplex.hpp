@@ -61,6 +61,26 @@ struct SolveResult {
 
 enum class BasisKind { Dense, SparseLU };
 
+/// Entering-column selection rule (docs/lp.md "Pricing and determinism").
+///
+///  * Dantzig (default): most negative reduced cost.  The historical rule;
+///    every golden trace and checked-in objective was pinned under it.
+///  * Devex: reference-framework weights (Forrest–Goldfarb).  Scores are
+///    d²/w_j; weights start at 1, grow via the pivot recurrence, and reset
+///    to the unit framework at every refactorization and (re)solve start.
+///  * SteepestEdge: like Devex, but the reference framework is anchored to
+///    the exact steepest-edge norms of the slack basis — every reset (solve
+///    start and refactorization) installs w_j = 1 + ‖a_j‖², exact for B = I
+///    and a far better estimate of 1 + ‖B⁻¹a_j‖² for untouched columns than
+///    the unit framework.  On tall masters (thousands of rows) this cuts
+///    pivot counts below Dantzig's.
+///
+/// All three rules share the same eligibility test, tolerance, and
+/// deterministic tie-break (score, then fingerprint, then index), so each
+/// rule is individually bit-reproducible; they differ only in which eligible
+/// column they prefer, i.e. the path taken to the optimum.
+enum class PricingRule { Dantzig, Devex, SteepestEdge };
+
 struct SimplexOptions {
   long max_iterations = 200000;
   /// Primal feasibility tolerance (absolute, on variable bounds).
@@ -82,6 +102,10 @@ struct SimplexOptions {
   /// Below this many columns every iteration scans everything: the list
   /// bookkeeping costs more than it saves on small LPs.
   int partial_pricing_min_cols = 192;
+  /// Entering-column selection rule (see PricingRule).  The PLAN-VNE solver
+  /// switches large masters to SteepestEdge automatically
+  /// (PlanVneConfig::steepest_edge_rows).
+  PricingRule pricing = PricingRule::Dantzig;
 };
 
 /// A basis snapshot that survives across Simplex instances.  Rows and
@@ -183,11 +207,22 @@ class Simplex {
   /// Exact reduced cost of column c under duals y.
   double reduced_cost(int c, const std::vector<double>& y,
                       const std::vector<double>& costs) const;
-  /// Entering eligibility of a nonbasic column with reduced cost d: fills
-  /// the improvement score and movement direction, or returns false.
-  /// Shared by full scans and candidate minor iterations so the two loops
-  /// can never disagree on what counts as an attractive column.
-  bool price_eligible(VarStatus st, double d, double* score, int* dir) const;
+  /// Entering eligibility of nonbasic column c with reduced cost d: fills
+  /// the improvement score (rule-dependent: |d| for Dantzig, d²/w_c for the
+  /// weighted rules) and movement direction, or returns false.  Shared by
+  /// full scans and candidate minor iterations so the two loops can never
+  /// disagree on what counts as an attractive column.
+  bool price_eligible(VarStatus st, int c, double d, double* score,
+                      int* dir) const;
+  /// Pricing-weight lifecycle (Devex/SteepestEdge; no-ops under Dantzig):
+  /// reset installs the reference framework (unit for Devex, the exact
+  /// slack-basis norms 1 + ‖a_j‖² for SteepestEdge), the update applies the
+  /// Forrest–Goldfarb max-form recurrence to the candidate working set + the
+  /// leaving column using the leaving row `rho` of B⁻¹ — already computed
+  /// for the dual update, so a pivot costs no extra solves.
+  void reset_pricing_weights();
+  void update_pricing_weights(int entering, int leaving, double pivot,
+                              const std::vector<double>& rho);
   /// Deterministic pricing order: higher score, then smaller fingerprint,
   /// then smaller index.  Shared by every pricing loop, so equal-cost
   /// column choices cannot depend on the pricing mode.
@@ -244,6 +279,7 @@ class Simplex {
   BasisFactor factor_;              // SparseLU mode: LU + eta file
   long dense_refactorizations_ = 0;
   std::vector<int> candidates_;     // partial-pricing candidate columns
+  std::vector<double> weight_;      // devex/steepest-edge reference weights
   std::vector<std::pair<double, int>> scratch_eligible_;  // refresh scratch
   // Scratch vectors reused across solve()/resolve() calls so the hot loop
   // never reallocates (see run()).

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <numeric>
 #include <string>
 
+#include "util/distributions.hpp"
 #include "util/error.hpp"
 
 namespace olive::topo {
@@ -245,6 +247,63 @@ net::SubstrateNetwork fat_tree(Rng& rng, int k) {
   // three layers contributes k·(k/2)² links.
   OLIVE_ASSERT(s.num_nodes() == half * half + 2 * k * half + k * half * half);
   OLIVE_ASSERT(s.num_links() == 3 * k * half * half);
+  return s;
+}
+
+net::SubstrateNetwork caida_isp(Rng& rng, int pops, int edge_nodes,
+                                double pop_shape) {
+  OLIVE_REQUIRE(pops >= 2, "need at least two PoPs");
+  OLIVE_REQUIRE(edge_nodes >= 2 * pops, "need >= 2 edge nodes per PoP");
+  OLIVE_REQUIRE(pop_shape > 1.0, "Pareto shape must exceed 1 (finite mean)");
+
+  // Heavy-tailed PoP sizes: raw Pareto weights, normalized so the edge-node
+  // total lands near the requested count (each PoP keeps at least 2).
+  std::vector<double> weight(pops);
+  double total_weight = 0;
+  for (int p = 0; p < pops; ++p) {
+    weight[p] = sample_pareto(rng, 1.0, pop_shape);
+    total_weight += weight[p];
+  }
+  std::vector<int> pop_size(pops);
+  for (int p = 0; p < pops; ++p)
+    pop_size[p] = std::max(
+        2, static_cast<int>(std::lround(edge_nodes * weight[p] / total_weight)));
+  const int mean_size = edge_nodes / pops;
+
+  SubstrateNetwork s;
+  // National core ring with chords, one core router per ~4 PoPs.
+  const int n_core = std::max(4, pops / 4);
+  std::vector<NodeId> core;
+  for (int i = 0; i < n_core; ++i)
+    core.push_back(
+        add_tiered_node(s, Tier::Core, "core" + std::to_string(i), rng));
+  for (int i = 0; i < n_core; ++i)
+    add_tiered_link(s, core[i], core[(i + 1) % n_core]);
+  for (int i = 0; i < n_core; i += 2)
+    add_tiered_link(s, core[i], core[(i + n_core / 2) % n_core]);
+
+  for (int p = 0; p < pops; ++p) {
+    const std::string pop = "pop" + std::to_string(p);
+    // Metro PoPs (at least twice the mean size) get a second aggregation
+    // router, joined laterally, with their edge nodes split round-robin.
+    const int n_agg = pop_size[p] >= 2 * mean_size ? 2 : 1;
+    std::vector<NodeId> agg(n_agg);
+    for (int a = 0; a < n_agg; ++a) {
+      agg[a] = add_tiered_node(s, Tier::Transport,
+                               pop + "agg" + std::to_string(a), rng);
+      // Dual-homed into the core: adjacent core routers, ISP-style.
+      add_tiered_link(s, agg[a], core[(p + a) % n_core]);
+      add_tiered_link(s, agg[a], core[(p + a + 1) % n_core]);
+    }
+    if (n_agg == 2) add_tiered_link(s, agg[0], agg[1]);
+    for (int e = 0; e < pop_size[p]; ++e) {
+      const NodeId edge = add_tiered_node(
+          s, Tier::Edge, pop + "e" + std::to_string(e), rng);
+      add_tiered_link(s, edge, agg[e % n_agg]);
+    }
+  }
+
+  s.validate();
   return s;
 }
 

@@ -47,6 +47,19 @@ net::SubstrateNetwork erdos_renyi(Rng& rng, int nodes = 100, int links = 150);
 /// "scale" cases).
 net::SubstrateNetwork fat_tree(Rng& rng, int k);
 
+/// Synthetic ISP-scale topology shaped like the CAIDA source model that
+/// drives the `workload/caida` trace generator: `pops` points of presence
+/// whose sizes follow a Pareto(pop_shape) draw normalized to ~`edge_nodes`
+/// edge datacenters in total, so a handful of metro PoPs hold a large share
+/// of the ingress points while a long tail of small PoPs holds the rest.
+/// Each PoP is an aggregation router (two for PoPs at twice the mean size,
+/// joined laterally) dual-homed into a national core ring with chords; edge
+/// nodes single-home to their PoP's aggregation.  Defaults give ~1100 nodes
+/// — the `CaidaIsp` scale_xl scenario (docs/engine.md).  Attributes follow
+/// the Table II tier parameters, like every other builder here.
+net::SubstrateNetwork caida_isp(Rng& rng, int pops = 48, int edge_nodes = 1024,
+                                double pop_shape = 1.3);
+
 /// All four evaluation topologies, keyed by their paper names.
 struct NamedTopology {
   std::string name;

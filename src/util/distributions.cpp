@@ -52,11 +52,17 @@ std::uint64_t sample_poisson(Rng& rng, double lambda) {
     } while (prod > limit);
     return n - 1;
   }
-  // Normal approximation with continuity correction is accurate enough for
-  // the arrival-count magnitudes used here (lambda up to a few thousand) and
-  // keeps the sampler simple and monotone in its uniform inputs.
+  // Normal approximation with continuity correction — accurate to well under
+  // a percent for lambda >= 30 and keeps the sampler simple and monotone in
+  // its uniform inputs.  ISP-scale traces drive lambda to 1e6 and beyond, so
+  // the cast is guarded: a draw at or above 2^53 (where doubles stop
+  // representing integers exactly, and far above any plausible count) is
+  // clamped instead of invoking undefined cast behavior.
   const double x = sample_normal(rng, lambda, std::sqrt(lambda));
-  return x <= 0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+  if (x <= 0) return 0;
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  if (x >= kMaxExact) return static_cast<std::uint64_t>(kMaxExact);
+  return static_cast<std::uint64_t>(x + 0.5);
 }
 
 double sample_pareto(Rng& rng, double scale, double shape) {

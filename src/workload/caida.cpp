@@ -1,10 +1,6 @@
 #include "workload/caida.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <numbers>
-
-#include "util/error.hpp"
+#include "workload/stream.hpp"
 
 namespace olive::workload {
 
@@ -12,82 +8,11 @@ Trace generate_caida_trace(const net::SubstrateNetwork& substrate,
                            const std::vector<net::Application>& apps,
                            const TraceConfig& base, const CaidaConfig& caida,
                            Rng& rng) {
-  OLIVE_REQUIRE(caida.num_sources > 0, "need at least one source");
-  OLIVE_REQUIRE(!apps.empty(), "application set must be non-empty");
-  const auto edge_nodes = substrate.nodes_in_tier(net::Tier::Edge);
-  OLIVE_REQUIRE(!edge_nodes.empty(), "substrate has no edge datacenters");
-
-  Rng src_rng = rng.fork(stable_hash("caida-sources"));
-  Rng arr_rng = rng.fork(stable_hash("caida-arrivals"));
-  Rng pick_rng = rng.fork(stable_hash("caida-pick"));
-  Rng size_rng = rng.fork(stable_hash("caida-size"));
-
-  // Per-source demand weights: heavy-tailed volumes, normalized so that the
-  // *mean* request demand stays base.demand_mean (utilization calibration
-  // then applies unchanged).
-  struct Source {
-    double weight;      // demand multiplier
-    net::NodeId node;   // assigned datacenter (uniform, per the paper)
-    double popularity;  // probability a request comes from this source
-  };
-  std::vector<Source> sources(caida.num_sources);
-  double total_volume = 0;
-  for (auto& s : sources) {
-    s.weight = sample_pareto(src_rng, 1.0, caida.pareto_shape);
-    // Cap the extreme tail: a single source may not exceed 50x the median
-    // volume, mirroring the flow-aggregation cutoff used when adapting
-    // Internet traces to finite-capacity edges.
-    s.weight = std::min(s.weight, 50.0);
-    s.node = edge_nodes[src_rng.below(edge_nodes.size())];
-    total_volume += s.weight;
-  }
-  // Requests are drawn per source proportionally to volume; demand of a
-  // request from source i is proportional to its weight.
-  double mean_weight = 0;
-  std::vector<double> cdf(sources.size());
-  double acc = 0;
-  for (std::size_t i = 0; i < sources.size(); ++i) {
-    sources[i].popularity = sources[i].weight / total_volume;
-    acc += sources[i].popularity;
-    cdf[i] = acc;
-    mean_weight += sources[i].popularity * sources[i].weight;
-  }
-  cdf.back() = 1.0;
-  const double demand_scale = base.demand_mean / mean_weight;
-
-  const double lambda_total = base.lambda_per_node * substrate.num_nodes();
-
-  Trace trace;
-  int next_id = 0;
-  for (int t = 0; t < base.horizon; ++t) {
-    const double phase = 2.0 * std::numbers::pi_v<double> *
-                         static_cast<double>(t % caida.diurnal_period) /
-                         caida.diurnal_period;
-    double modulation = 1.0 + caida.diurnal_amplitude * std::sin(phase);
-    modulation *= std::max(
-        0.05, 1.0 + caida.noise_std * sample_standard_normal(arr_rng));
-    const std::uint64_t count =
-        sample_poisson(arr_rng, lambda_total * modulation);
-    for (std::uint64_t k = 0; k < count; ++k) {
-      const double u = pick_rng.uniform();
-      const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
-      const Source& src = sources[static_cast<std::size_t>(it - cdf.begin())];
-      Request r;
-      r.id = next_id++;
-      r.arrival = t;
-      r.ingress = src.node;
-      r.app = static_cast<int>(pick_rng.below(apps.size()));
-      // Aggregated per-source demand with mild per-request jitter.
-      const double jitter =
-          sample_truncated_normal(size_rng, 1.0, 0.2, 0.05);
-      r.demand = std::max(0.1, demand_scale * src.weight * jitter);
-      r.duration = std::max(
-          1, static_cast<int>(std::lround(
-                 sample_exponential(size_rng, base.duration_mean))));
-      trace.push_back(r);
-    }
-  }
-  return trace;
+  // The source model and per-slot generation live in CaidaTraceStream;
+  // draining it here keeps the materialized and streamed paths bit-identical
+  // by construction.
+  CaidaTraceStream stream(substrate, apps, base, caida, rng);
+  return materialize(stream);
 }
 
 }  // namespace olive::workload

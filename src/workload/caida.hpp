@@ -27,6 +27,10 @@ struct CaidaConfig {
   double diurnal_amplitude = 0.35;  ///< peak-to-mean arrival modulation
   double noise_std = 0.15;          ///< per-slot multiplicative noise
   int diurnal_period = 1200;        ///< slots per diurnal cycle
+  /// Tail cutoff for per-source volumes, as a multiple of the *realized
+  /// median* volume of the drawn source set (the flow-aggregation cutoff
+  /// used when adapting Internet traces to finite-capacity edges).
+  double tail_cap = 50.0;
 };
 
 /// Generates a CAIDA-like trace with the same request-field semantics as

@@ -1,14 +1,19 @@
 // Online embedding requests (paper Table I, "Requests").
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "net/substrate.hpp"
 
 namespace olive::workload {
 
+/// Request identifier.  64-bit: streamed traces run to 10^6–10^9 requests,
+/// far beyond what a 32-bit id can hold without wrapping.
+using RequestId = std::int64_t;
+
 struct Request {
-  int id = -1;
+  RequestId id = -1;
   int arrival = 0;        ///< t(r), the arrival time slot
   int duration = 1;       ///< T(r); active for arrival <= t < arrival+duration
   net::NodeId ingress = -1;  ///< v(r), the user's datacenter

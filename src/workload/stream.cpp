@@ -1,0 +1,210 @@
+#include "workload/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace olive::workload {
+
+// ---------------------------------------------------------------------------
+// MMPP
+// ---------------------------------------------------------------------------
+
+MmppTraceStream::MmppTraceStream(const net::SubstrateNetwork& substrate,
+                                 const std::vector<net::Application>& apps,
+                                 TraceConfig config, Rng& rng)
+    : config_(config),
+      num_apps_(apps.size()),
+      // Sub-stream forks in the exact order of the materialized generator.
+      arrivals_rng_(rng.fork(stable_hash("arrivals"))),
+      state_rng_(rng.fork(stable_hash("mmpp-state"))),
+      pick_rng_(rng.fork(stable_hash("ingress-app"))),
+      size_rng_(rng.fork(stable_hash("demand-duration"))),
+      ranked_(substrate.nodes_in_tier(net::Tier::Edge)),
+      zipf_(std::max<std::size_t>(ranked_.size(), 1), config.zipf_alpha) {
+  OLIVE_REQUIRE(!apps.empty(), "application set must be non-empty");
+  OLIVE_REQUIRE(config_.horizon >= config_.plan_slots,
+                "horizon must cover the plan period");
+  OLIVE_REQUIRE(config_.lambda_per_node > 0, "lambda must be positive");
+  OLIVE_REQUIRE(!ranked_.empty(), "substrate has no edge datacenters");
+
+  Rng rank_rng = rng.fork(stable_hash("popularity"));
+  for (std::size_t i = ranked_.size(); i > 1; --i)
+    std::swap(ranked_[i - 1], ranked_[rank_rng.below(i)]);
+
+  lambda_total_ = config_.lambda_per_node * substrate.num_nodes();
+  high_state_ = state_rng_.chance(0.5);
+}
+
+int MmppTraceStream::next_slot(std::vector<Request>& out) {
+  out.clear();
+  if (t_ >= config_.horizon) return -1;
+  const int t = t_++;
+
+  // Demand-drift ramp over the test period (identity while drift == 0 or
+  // inside the history).
+  const int test_span =
+      std::max(1, config_.horizon - 1 - config_.plan_slots);
+  const double drift_factor =
+      (config_.drift == 0.0 || t < config_.plan_slots)
+          ? 1.0
+          : 1.0 + config_.drift *
+                      static_cast<double>(t - config_.plan_slots) /
+                      static_cast<double>(test_span);
+
+  // MMPP state transition, then Poisson arrivals at the state's rate.
+  const double flip_p = high_state_ ? config_.mmpp.p_high_to_low
+                                    : config_.mmpp.p_low_to_high;
+  if (state_rng_.chance(flip_p)) high_state_ = !high_state_;
+  const double rate =
+      lambda_total_ * (high_state_ ? config_.mmpp.high_rate_factor
+                                   : config_.mmpp.low_rate_factor);
+  const std::uint64_t count = sample_poisson(arrivals_rng_, rate);
+  out.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    Request r;
+    r.id = next_id_++;
+    r.arrival = t;
+    r.ingress = ranked_[zipf_(pick_rng_)];
+    r.app = static_cast<int>(pick_rng_.below(num_apps_));
+    r.demand = drift_factor *
+               sample_truncated_normal(size_rng_, config_.demand_mean,
+                                       config_.demand_std, 0.1);
+    r.duration = std::max(
+        1, static_cast<int>(std::lround(
+               sample_exponential(size_rng_, config_.duration_mean))));
+    out.push_back(r);
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// CAIDA-like
+// ---------------------------------------------------------------------------
+
+CaidaTraceStream::CaidaTraceStream(const net::SubstrateNetwork& substrate,
+                                   const std::vector<net::Application>& apps,
+                                   const TraceConfig& base,
+                                   const CaidaConfig& caida, Rng& rng)
+    : base_(base),
+      caida_(caida),
+      num_apps_(apps.size()),
+      arr_rng_(rng.fork(stable_hash("caida-arrivals"))),
+      pick_rng_(rng.fork(stable_hash("caida-pick"))),
+      size_rng_(rng.fork(stable_hash("caida-size"))) {
+  OLIVE_REQUIRE(caida_.num_sources > 0, "need at least one source");
+  OLIVE_REQUIRE(caida_.tail_cap > 0, "tail cap must be positive");
+  OLIVE_REQUIRE(!apps.empty(), "application set must be non-empty");
+  const auto edge_nodes = substrate.nodes_in_tier(net::Tier::Edge);
+  OLIVE_REQUIRE(!edge_nodes.empty(), "substrate has no edge datacenters");
+
+  Rng src_rng = rng.fork(stable_hash("caida-sources"));
+
+  // Per-source demand weights: heavy-tailed volumes, normalized so that the
+  // *mean* request demand stays base.demand_mean (utilization calibration
+  // then applies unchanged).  Weights and node assignments are drawn
+  // interleaved; the tail cap is applied in a second pass because it is
+  // relative to the realized median of the whole draw.
+  sources_.resize(static_cast<std::size_t>(caida_.num_sources));
+  for (auto& s : sources_) {
+    s.weight = sample_pareto(src_rng, 1.0, caida_.pareto_shape);
+    s.node = edge_nodes[src_rng.below(edge_nodes.size())];
+  }
+  // Cap the extreme tail: a single source may not exceed tail_cap times the
+  // median volume, mirroring the flow-aggregation cutoff used when adapting
+  // Internet traces to finite-capacity edges.
+  std::vector<double> weights(sources_.size());
+  for (std::size_t i = 0; i < sources_.size(); ++i)
+    weights[i] = sources_[i].weight;
+  std::sort(weights.begin(), weights.end());
+  const std::size_t n = weights.size();
+  const double median = (n % 2 == 1)
+                            ? weights[n / 2]
+                            : 0.5 * (weights[n / 2 - 1] + weights[n / 2]);
+  const double cap = caida_.tail_cap * median;
+  double total_volume = 0;
+  for (auto& s : sources_) {
+    s.weight = std::min(s.weight, cap);
+    total_volume += s.weight;
+  }
+
+  // Requests are drawn per source proportionally to volume; demand of a
+  // request from source i is proportional to its weight.
+  double mean_weight = 0;
+  cdf_.resize(sources_.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    const double popularity = sources_[i].weight / total_volume;
+    acc += popularity;
+    cdf_[i] = acc;
+    mean_weight += popularity * sources_[i].weight;
+  }
+  cdf_.back() = 1.0;
+  demand_scale_ = base_.demand_mean / mean_weight;
+  lambda_total_ = base_.lambda_per_node * substrate.num_nodes();
+}
+
+int CaidaTraceStream::next_slot(std::vector<Request>& out) {
+  out.clear();
+  if (t_ >= base_.horizon) return -1;
+  const int t = t_++;
+
+  const double phase = 2.0 * std::numbers::pi_v<double> *
+                       static_cast<double>(t % caida_.diurnal_period) /
+                       caida_.diurnal_period;
+  double modulation = 1.0 + caida_.diurnal_amplitude * std::sin(phase);
+  modulation *= std::max(
+      0.05, 1.0 + caida_.noise_std * sample_standard_normal(arr_rng_));
+  const std::uint64_t count =
+      sample_poisson(arr_rng_, lambda_total_ * modulation);
+  out.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const double u = pick_rng_.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    const Source& src = sources_[static_cast<std::size_t>(it - cdf_.begin())];
+    Request r;
+    r.id = next_id_++;
+    r.arrival = t;
+    r.ingress = src.node;
+    r.app = static_cast<int>(pick_rng_.below(num_apps_));
+    // Aggregated per-source demand with mild per-request jitter.
+    const double jitter = sample_truncated_normal(size_rng_, 1.0, 0.2, 0.05);
+    r.demand = std::max(0.1, demand_scale_ * src.weight * jitter);
+    r.duration = std::max(
+        1, static_cast<int>(std::lround(
+               sample_exponential(size_rng_, base_.duration_mean))));
+    out.push_back(r);
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Vector adapter + materialization
+// ---------------------------------------------------------------------------
+
+VectorTraceStream::VectorTraceStream(const Trace& trace, int horizon)
+    : trace_(trace), horizon_(horizon) {
+  if (horizon_ < 0)
+    horizon_ = trace_.empty() ? 0 : trace_.back().arrival + 1;
+}
+
+int VectorTraceStream::next_slot(std::vector<Request>& out) {
+  out.clear();
+  if (t_ >= horizon_) return -1;
+  const int t = t_++;
+  while (next_ < trace_.size() && trace_[next_].arrival == t)
+    out.push_back(trace_[next_++]);
+  return t;
+}
+
+Trace materialize(TraceStream& stream) {
+  Trace trace;
+  std::vector<Request> slot;
+  while (stream.next_slot(slot) >= 0)
+    trace.insert(trace.end(), slot.begin(), slot.end());
+  return trace;
+}
+
+}  // namespace olive::workload

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "workload/stream.hpp"
 
 namespace olive::workload {
 
@@ -23,60 +24,10 @@ TraceGenerator::TraceGenerator(const net::SubstrateNetwork& substrate,
 }
 
 Trace TraceGenerator::generate(Rng& rng) const {
-  Rng arrivals_rng = rng.fork(stable_hash("arrivals"));
-  Rng state_rng = rng.fork(stable_hash("mmpp-state"));
-  Rng pick_rng = rng.fork(stable_hash("ingress-app"));
-  Rng size_rng = rng.fork(stable_hash("demand-duration"));
-  Rng rank_rng = rng.fork(stable_hash("popularity"));
-
-  // Fixed Zipf popularity ranking over the edge datacenters for this trace:
-  // a random permutation assigns which node gets which popularity rank.
-  std::vector<net::NodeId> ranked = edge_nodes_;
-  for (std::size_t i = ranked.size(); i > 1; --i)
-    std::swap(ranked[i - 1], ranked[rank_rng.below(i)]);
-  const ZipfSampler zipf(ranked.size(), config_.zipf_alpha);
-
-  const double lambda_total =
-      config_.lambda_per_node * substrate_.num_nodes();
-  bool high_state = state_rng.chance(0.5);
-
-  // Demand-drift ramp over the test period (identity while drift == 0 or
-  // inside the history).
-  const int test_span =
-      std::max(1, config_.horizon - 1 - config_.plan_slots);
-  const auto drift_factor = [&](int t) {
-    if (config_.drift == 0.0 || t < config_.plan_slots) return 1.0;
-    return 1.0 + config_.drift * static_cast<double>(t - config_.plan_slots) /
-                     static_cast<double>(test_span);
-  };
-
-  Trace trace;
-  int next_id = 0;
-  for (int t = 0; t < config_.horizon; ++t) {
-    // MMPP state transition, then Poisson arrivals at the state's rate.
-    const double flip_p = high_state ? config_.mmpp.p_high_to_low
-                                     : config_.mmpp.p_low_to_high;
-    if (state_rng.chance(flip_p)) high_state = !high_state;
-    const double rate = lambda_total * (high_state
-                                            ? config_.mmpp.high_rate_factor
-                                            : config_.mmpp.low_rate_factor);
-    const std::uint64_t count = sample_poisson(arrivals_rng, rate);
-    for (std::uint64_t k = 0; k < count; ++k) {
-      Request r;
-      r.id = next_id++;
-      r.arrival = t;
-      r.ingress = ranked[zipf(pick_rng)];
-      r.app = static_cast<int>(pick_rng.below(apps_.size()));
-      r.demand = drift_factor(t) *
-                 sample_truncated_normal(size_rng, config_.demand_mean,
-                                         config_.demand_std, 0.1);
-      r.duration = std::max(
-          1, static_cast<int>(
-                 std::lround(sample_exponential(size_rng, config_.duration_mean))));
-      trace.push_back(r);
-    }
-  }
-  return trace;
+  // The per-slot generation lives in MmppTraceStream; draining it here keeps
+  // the materialized and streamed paths bit-identical by construction.
+  MmppTraceStream stream(substrate_, apps_, config_, rng);
+  return materialize(stream);
 }
 
 std::pair<Trace, Trace> TraceGenerator::split_history(const Trace& trace) const {

@@ -104,6 +104,74 @@ TEST(SimplexPricing, PartialMatchesFullUnderColumnGeneration) {
   }
 }
 
+SimplexOptions with_rule(PricingRule rule, bool partial) {
+  SimplexOptions o = partial ? partial_pricing() : full_pricing();
+  o.pricing = rule;
+  return o;
+}
+
+TEST(SimplexPricing, WeightedRulesReachTheDantzigOptimum) {
+  // Devex and steepest edge pick different pivot paths, never different
+  // optima: on every random model (including phase-1 instances) and in both
+  // full-scan and candidate-list modes they must agree with Dantzig on
+  // status and objective.
+  Rng rng(stable_hash("pricing-rules"));
+  for (int draw = 0; draw < 12; ++draw) {
+    const bool with_eq = draw % 2 == 1;  // odd draws exercise phase 1
+    Model m = random_lp(rng, /*cols=*/140, /*rows=*/30, with_eq);
+    const auto dantzig = solve_lp(m, full_pricing());
+    for (const PricingRule rule :
+         {PricingRule::Devex, PricingRule::SteepestEdge}) {
+      for (const bool partial : {false, true}) {
+        const auto res = solve_lp(m, with_rule(rule, partial));
+        ASSERT_EQ(dantzig.status, res.status)
+            << "draw " << draw << " rule " << static_cast<int>(rule);
+        if (dantzig.status != Status::Optimal) continue;
+        const double tol = 1e-7 * (1.0 + std::abs(dantzig.objective));
+        EXPECT_NEAR(dantzig.objective, res.objective, tol)
+            << "draw " << draw << " rule " << static_cast<int>(rule)
+            << " partial " << partial;
+        EXPECT_LE(m.max_violation(res.x), 1e-6);
+      }
+    }
+  }
+}
+
+TEST(SimplexPricing, SteepestEdgeUnderColumnGeneration) {
+  // The weight framework must survive the colgen loop: appended columns get
+  // unit weights at the next run() start, resolve() after each batch still
+  // reaches the Dantzig optimum.
+  Rng rng(stable_hash("pricing-rules-colgen"));
+  for (int draw = 0; draw < 4; ++draw) {
+    Model m = random_lp(rng, /*cols=*/60, /*rows=*/20, /*with_eq_rows=*/false);
+    Simplex dantzig(m, full_pricing());
+    Simplex steepest(m, with_rule(PricingRule::SteepestEdge, /*partial=*/true));
+    auto rd = dantzig.solve();
+    auto rs = steepest.solve();
+    ASSERT_EQ(rd.status, Status::Optimal);
+    ASSERT_EQ(rs.status, Status::Optimal);
+    for (int batch = 0; batch < 4; ++batch) {
+      for (int k = 0; k < 30; ++k) {
+        const double up = rng.uniform(0.5, 2.0);
+        const double cost = rng.uniform(-6.0, 2.0);
+        SparseColumn entries;
+        for (int e = 0; e < 5; ++e)
+          entries.emplace_back(static_cast<int>(rng.below(20)),
+                               rng.uniform(0.1, 1.5));
+        dantzig.add_column(0, up, cost, entries);
+        steepest.add_column(0, up, cost, entries);
+      }
+      rd = dantzig.resolve();
+      rs = steepest.resolve();
+      ASSERT_EQ(rd.status, Status::Optimal) << "draw " << draw;
+      ASSERT_EQ(rs.status, Status::Optimal) << "draw " << draw;
+      const double tol = 1e-7 * (1.0 + std::abs(rd.objective));
+      EXPECT_NEAR(rd.objective, rs.objective, tol)
+          << "draw " << draw << " batch " << batch;
+    }
+  }
+}
+
 TEST(SimplexPricing, DualsAgreeBetweenPricingModes) {
   // Duals are recomputed exactly at optimality, so both modes must price
   // every column non-negatively (up to tolerance) under their own duals.

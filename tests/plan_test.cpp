@@ -273,6 +273,45 @@ TEST(PlanVne, ColumnCacheAcceleratesRepeatSolves) {
   EXPECT_LE(warm.columns_generated, cold.columns_generated);
 }
 
+TEST(PlanVne, ColumnCacheLruEvictionKeepsSolvesOptimal) {
+  const auto s = small_network();
+  const auto apps = one_chain_app();
+  // Four classes, one per ingress: four cache buckets.
+  std::vector<AggregateRequest> aggs;
+  for (int v = 0; v < 4; ++v) aggs.push_back({0, v, 5.0, 5.0, 3});
+  PlanSolveInfo unbounded;
+  const Plan reference = solve_plan_vne(s, apps, aggs, {}, &unbounded);
+
+  // A 2-column global budget forces trim() to evict whole LRU buckets after
+  // every solve.  Eviction only costs re-pricing: each solve must still be
+  // optimal at the unbounded objective, feasible, and able to consume the
+  // carried warm-start basis (missing columns fall back to repair/cold —
+  // valid either way, never wrong).
+  PlanColumnCache cache(/*max_columns=*/2);
+  PlanWarmStart warm;
+  for (int round = 0; round < 4; ++round) {
+    PlanSolveInfo info;
+    const Plan plan = solve_plan_vne(s, apps, aggs, {}, &info, &cache, &warm);
+    EXPECT_EQ(info.status, lp::Status::Optimal) << "round " << round;
+    EXPECT_NEAR(info.objective, unbounded.objective,
+                1e-6 * (1 + std::abs(unbounded.objective)))
+        << "round " << round;
+    expect_plan_feasible(s, plan);
+    EXPECT_LE(cache.total_columns(), cache.max_columns()) << "round " << round;
+    if (round > 0) EXPECT_TRUE(info.warm_start_attempted);
+  }
+
+  // The default budget is far above anything a small topology generates:
+  // trim() must be a no-op there (pinned so the LRU machinery can never
+  // perturb existing runs).
+  PlanColumnCache roomy;
+  solve_plan_vne(s, apps, aggs, {}, nullptr, &roomy);
+  const std::size_t before = roomy.total_columns();
+  EXPECT_GT(before, 0u);
+  roomy.trim();
+  EXPECT_EQ(roomy.total_columns(), before);
+}
+
 TEST(PlanVne, CapacityOverlayScalesRowsAndExcludesDeadElements) {
   const auto s = small_network(100, 60);
   const auto apps = one_chain_app();

@@ -147,6 +147,29 @@ TEST(Distributions, PoissonZeroLambda) {
   EXPECT_EQ(sample_poisson(rng, 0.0), 0u);
 }
 
+TEST(Distributions, PoissonHugeLambdaMeanAndVariance) {
+  // The normal-approximation branch at scale_xl arrival rates: the draw
+  // must keep Poisson moments (mean λ, variance λ) and never wrap the
+  // uint64 cast (the 2^53 clamp).
+  Rng rng(24);
+  for (const double lambda : {1e4, 1e6}) {
+    const int kDraws = 4000;
+    double sum = 0, sumsq = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      const double x = static_cast<double>(sample_poisson(rng, lambda));
+      ASSERT_LT(x, 2.0 * lambda);  // a wrapped cast would blow far past λ
+      sum += x;
+      sumsq += x * x;
+    }
+    const double mean = sum / kDraws;
+    const double var = sumsq / kDraws - mean * mean;
+    // 5 standard errors on the mean; the variance is noisier (~λ·√(2/n)).
+    EXPECT_NEAR(mean, lambda, 5.0 * std::sqrt(lambda / kDraws))
+        << "lambda " << lambda;
+    EXPECT_NEAR(var, lambda, 0.15 * lambda) << "lambda " << lambda;
+  }
+}
+
 TEST(Distributions, ParetoTailHeavierThanExponential) {
   Rng rng(23);
   // For shape 1.2 the sample maximum over 10k draws should exceed 100x the
