@@ -386,7 +386,7 @@ inline void write_json(const std::string& bench,
 }
 
 // ---------------------------------------------------------------------------
-// BENCH_perf.json emission (schema olive-perf-v5, see EXPERIMENTS.md).
+// BENCH_perf.json emission (schema olive-perf-v6, see EXPERIMENTS.md).
 // Shared here so the perf harness and any future bench emit identical rows.
 
 /// One measured case of the perf trajectory.
@@ -413,12 +413,21 @@ struct PerfCase {
   /// (replan_window case only; 0 elsewhere).
   long replans = 0;
   /// v5 (scale_xl streamed cases only; 0/-1 elsewhere): requests served by
-  /// the streamed run, the requests/sec throughput headline, and the
-  /// process peak RSS (getrusage ru_maxrss) after the run — the CI smoke
-  /// holds the last one under a ceiling to pin the flat-memory contract.
+  /// the streamed run and the requests/sec throughput headline — the CI
+  /// smoke gates the latter against the checked-in trajectory.
   long requests = 0;
   double requests_per_sec = -1;
+  /// v6: process peak RSS (getrusage ru_maxrss) after the case, recorded
+  /// for every scale_xl case (plan masters and the stream) to pin the
+  /// flat-memory contract; -1 elsewhere.
   double rss_mb = -1;
+  /// v6 (streamed OLIVE cases only; -1 elsewhere): admission fast-path
+  /// counters folded out of SimMetrics — greedy-memo hits, grow-epoch
+  /// invalidations, and speculative commits that failed validation.
+  /// Diagnostics outside the bit-identity contract (docs/olive-fastpath.md).
+  long cache_hits = -1;
+  long cache_invalidations = -1;
+  long spec_misses = -1;
 };
 
 inline std::string json_num(double v) {
@@ -432,7 +441,7 @@ inline void write_perf_json(const std::string& path, const BenchScale& scale,
                             const std::vector<PerfCase>& cases) {
   std::ofstream out(path);
   out << "{\n"
-      << "  \"schema\": \"olive-perf-v5\",\n"
+      << "  \"schema\": \"olive-perf-v6\",\n"
       << "  \"scale\": \"" << (scale.full ? "full" : "quick") << "\",\n"
       << "  \"pricing_threads\": " << pricing_threads << ",\n"
       << "  \"harness_threads\": 1,\n"
@@ -452,12 +461,21 @@ inline void write_perf_json(const std::string& path, const BenchScale& scale,
         << ", \"eta_length_max\": " << c.eta_length_max
         << ", \"warm_start_hits\": " << c.warm_start_hits
         << ", \"objective\": " << json_num(c.objective)
-        << ", \"rejection_rate\": " << json_num(c.rejection_rate)
         << ", \"replans\": " << c.replans
-        << ", \"requests\": " << c.requests
-        << ", \"requests_per_sec\": " << json_num(c.requests_per_sec)
-        << ", \"rss_mb\": " << json_num(c.rss_mb) << "}"
-        << (i + 1 < cases.size() ? "," : "") << "\n";
+        << ", \"requests\": " << c.requests;
+    // v6: the -1 sentinels mean "not measured for this case" and are no
+    // longer emitted — consumers key on field presence instead of probing
+    // for the magic value.
+    if (c.rejection_rate >= 0)
+      out << ", \"rejection_rate\": " << json_num(c.rejection_rate);
+    if (c.requests_per_sec >= 0)
+      out << ", \"requests_per_sec\": " << json_num(c.requests_per_sec);
+    if (c.rss_mb >= 0) out << ", \"rss_mb\": " << json_num(c.rss_mb);
+    if (c.cache_hits >= 0) out << ", \"cache_hits\": " << c.cache_hits;
+    if (c.cache_invalidations >= 0)
+      out << ", \"cache_invalidations\": " << c.cache_invalidations;
+    if (c.spec_misses >= 0) out << ", \"spec_misses\": " << c.spec_misses;
+    out << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }

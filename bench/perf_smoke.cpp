@@ -71,7 +71,9 @@ void print_case(const olive::bench::PerfCase& c) {
             << c.eta_length_max << "," << c.warm_start_hits << ","
             << olive::bench::json_num(c.objective) << "," << c.replans << ","
             << c.requests << "," << olive::bench::json_num(c.requests_per_sec)
-            << "," << olive::bench::json_num(c.rss_mb) << std::endl;
+            << "," << olive::bench::json_num(c.rss_mb) << "," << c.cache_hits
+            << "," << c.cache_invalidations << "," << c.spec_misses
+            << std::endl;
 }
 
 void accumulate(olive::bench::PerfCase& c, const olive::core::PlanSolveInfo& info,
@@ -112,7 +114,8 @@ int main(int argc, char** argv) {
   std::cout << "case,topology,basis,reps,seconds_total,simplex_iterations,"
                "pricing_rounds,columns_generated,refactorizations,"
                "eta_length_max,warm_start_hits,objective,replans,requests,"
-               "requests_per_sec,rss_mb\n";
+               "requests_per_sec,rss_mb,cache_hits,cache_invalidations,"
+               "spec_misses\n";
 
   for (const std::string topo : {"Iris", "CittaStudi"}) {
     const auto cfg = bench::base_config(scale, topo, 1.0);
@@ -338,6 +341,7 @@ int main(int argc, char** argv) {
       const core::Plan plan = core::solve_plan_vne(sc.substrate, sc.apps,
                                                    sc.aggregates, pcfg, &info);
       accumulate(c, info, seconds_since(start));
+      c.rss_mb = peak_rss_mb();  // high-water mark after the master solve
       (steepest ? steepest_iters : dantzig_iters) = c.simplex_iterations;
       cases.push_back(c);
       print_case(c);
@@ -381,12 +385,17 @@ int main(int argc, char** argv) {
       st.rss_mb = peak_rss_mb();
       st.objective = m.total_cost();
       st.rejection_rate = m.rejection_rate();
+      st.cache_hits = m.fastpath_greedy_hits;
+      st.cache_invalidations = m.fastpath_greedy_invalidations;
+      st.spec_misses = m.fastpath_spec_misses;
       cases.push_back(st);
       print_case(st);
       std::cout << "# scale_xl streamed: " << st.requests << " requests, "
                 << bench::json_num(st.requests_per_sec)
                 << " requests/sec, peak RSS " << bench::json_num(st.rss_mb)
-                << " MB\n";
+                << " MB, greedy-memo hits " << st.cache_hits << " ("
+                << st.cache_invalidations << " invalidations, "
+                << st.spec_misses << " spec misses)\n";
     }
   }
 

@@ -3,6 +3,7 @@
 // has its own driver (engine::Engine::run_slotoff; see engine/engine.hpp).
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +24,21 @@ enum class OutcomeKind {
 };
 
 const char* to_string(OutcomeKind k) noexcept;
+
+/// Admission fast-path diagnostics (docs/olive-fastpath.md).  Counters only:
+/// none of these may influence decisions.  The speculation counters depend on
+/// the thread count (speculation is disabled at width 1), so they are
+/// explicitly *outside* the bit-identity determinism contract — decisions and
+/// every other SimMetrics field stay bit-identical at any OLIVE_THREADS.
+struct FastPathStats {
+  long greedy_memo_hits = 0;    ///< greedy embeds answered from the memo
+  long greedy_memo_misses = 0;  ///< greedy embeds that had to recompute
+  long greedy_memo_invalidations = 0;  ///< memos dropped on a stale epoch
+  long column_skips = 0;  ///< plan stages skipped via the class residual max
+  long spec_commits = 0;  ///< speculative decisions committed as-is
+  long spec_misses = 0;   ///< speculative decisions re-derived serially
+  long spec_serial = 0;   ///< arrivals speculation declined (preempt path)
+};
 
 struct EmbedOutcome {
   OutcomeKind kind = OutcomeKind::Rejected;
@@ -50,6 +66,21 @@ class OnlineEmbedder {
 
   /// Processes request r in arrival order (ON-VNE, Fig. 2).
   virtual EmbedOutcome embed(const workload::Request& r) = 0;
+
+  /// Optional batched-admission hint: the engine announces one slot's
+  /// arrivals (in order) before calling embed() on each of them, so the
+  /// embedder may precompute candidate decisions in parallel against its
+  /// current — frozen — state.  Purely advisory: embed() must return exactly
+  /// what a hint-free serial run would, for every request.  Default: no-op.
+  virtual void hint_arrivals(const workload::Request* batch,
+                             std::size_t count) {
+    (void)batch;
+    (void)count;
+  }
+
+  /// Fast-path counters since the last reset() (all-zero for embedders
+  /// without a fast path).  Diagnostics only — see FastPathStats.
+  virtual FastPathStats fastpath_stats() const { return {}; }
 
   /// Releases the resources of a departing accepted request.  Calling this
   /// for a rejected or preempted request is a no-op.

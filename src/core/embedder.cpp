@@ -247,6 +247,14 @@ std::optional<net::Embedding> capacitated_min_cost_tree_embedding(
 std::optional<net::Embedding> greedy_collocated_embedding(
     const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
     net::NodeId ingress, double demand, const LoadTracker& load) {
+  return greedy_collocated_embedding(s, vn, ingress, demand, load,
+                                     net::link_cost_weights(s));
+}
+
+std::optional<net::Embedding> greedy_collocated_embedding(
+    const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
+    net::NodeId ingress, double demand, const LoadTracker& load,
+    const std::vector<double>& link_weights) {
   OLIVE_REQUIRE(demand > 0, "demand must be positive");
   // All VNFs share one host: total node usage and the set of virtual links
   // that ride the ingress->host path (exactly those adjacent to θ).
@@ -266,7 +274,7 @@ std::optional<net::Embedding> greedy_collocated_embedding(
   // One Dijkstra from the ingress over links with enough residual capacity
   // for the θ-adjacent virtual links.
   const auto tree = net::dijkstra(
-      s, ingress, net::link_cost_weights(s), [&](net::LinkId l) {
+      s, ingress, link_weights, [&](net::LinkId l) {
         return load.residual(s.link_element(l)) >= path_size * demand - 1e-9;
       });
 

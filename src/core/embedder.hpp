@@ -79,6 +79,14 @@ std::optional<net::Embedding> greedy_collocated_embedding(
     const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
     net::NodeId ingress, double demand, const LoadTracker& load);
 
+/// Same, against precomputed per-link Dijkstra weights (must equal
+/// net::link_cost_weights(s)) — the admission fast path hoists that vector
+/// out of the per-request loop instead of rebuilding it every call.
+std::optional<net::Embedding> greedy_collocated_embedding(
+    const net::SubstrateNetwork& s, const net::VirtualNetwork& vn,
+    net::NodeId ingress, double demand, const LoadTracker& load,
+    const std::vector<double>& link_weights);
+
 /// Capacity-filtered min-cost tree embedding: like min_cost_tree_embedding
 /// but every placement/link must individually fit `demand` under the
 /// residuals in `load` (a *necessary* condition for any feasible embedding,

@@ -23,6 +23,7 @@ void LoadTracker::reset() {
   residual_.resize(n);
   for (int e = 0; e < n; ++e)
     residual_[e] = capacity_[e] = substrate_->element_capacity(e);
+  ++grow_epoch_;  // residuals jump back to nominal — a growth event
 }
 
 bool LoadTracker::fits(const Usage& usage, double demand) const noexcept {
@@ -40,6 +41,7 @@ void LoadTracker::apply(const Usage& usage, double demand) {
 }
 
 void LoadTracker::release(const Usage& usage, double demand) {
+  ++grow_epoch_;
   for (const auto& [elem, amount] : usage) {
     used_[elem] -= amount * demand;
     residual_[elem] += amount * demand;
@@ -52,6 +54,7 @@ void LoadTracker::release(const Usage& usage, double demand) {
 void LoadTracker::set_capacity(int element, double cap) {
   OLIVE_ASSERT(element >= 0 &&
                element < static_cast<int>(capacity_.size()) && cap >= 0);
+  if (cap > capacity_[element]) ++grow_epoch_;  // recovery/raise grows residual
   residual_[element] += cap - capacity_[element];
   capacity_[element] = cap;
 }

@@ -16,6 +16,7 @@
 // element beyond what was allocated, whatever the capacity did in between.
 #pragma once
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -63,11 +64,21 @@ class LoadTracker {
   /// Smallest residual across all elements (diagnostics / invariants).
   double min_residual() const noexcept;
 
+  /// Growth epoch: a counter bumped by every operation that can *increase*
+  /// some residual — release(), a set_capacity() raise, and reset().
+  /// Monotone shrinks (apply(), capacity drops) leave it unchanged.  This is
+  /// the invalidation key of OLIVE's admission cache: a memoized embedding
+  /// decision taken at epoch E stays exact for any later state at the same
+  /// epoch, because feasible sets can only have shrunk since (the full
+  /// argument lives in docs/olive-fastpath.md).
+  std::uint64_t grow_epoch() const noexcept { return grow_epoch_; }
+
  private:
   const net::SubstrateNetwork* substrate_;
   std::vector<double> capacity_;
   std::vector<double> used_;
   std::vector<double> residual_;  ///< capacity_ - used_, kept incrementally
+  std::uint64_t grow_epoch_ = 0;
 };
 
 }  // namespace olive::core

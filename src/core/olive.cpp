@@ -1,11 +1,16 @@
 #include "core/olive.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
+#include <utility>
 
+#include "core/aggregation.hpp"
 #include "core/embedder.hpp"
 #include "net/embedding.hpp"
+#include "net/paths.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace olive::core {
 
@@ -27,7 +32,8 @@ OliveEmbedder::OliveEmbedder(const net::SubstrateNetwork& s,
       plan_(std::move(plan)),
       name_(std::move(name)),
       options_(options),
-      load_(s) {
+      load_(s),
+      link_weights_(net::link_cost_weights(s)) {
   reset();
 }
 
@@ -36,13 +42,18 @@ bool OliveEmbedder::install_plan(Plan plan) {
   plan_used_.assign(plan_.num_classes(), {});
   for (int c = 0; c < plan_.num_classes(); ++c)
     plan_used_[c].assign(plan_.cls(c).columns.size(), 0.0);
+  rebuild_class_max();
   // Active planned allocations lose their guaranteed status under the new
-  // plan: they keep resources but become preemptible borrowers.
+  // plan: they keep resources but become preemptible borrowers — and thus
+  // join the preempt candidate index.
   for (auto& [id, a] : active_) {
-    (void)id;
+    if (!a.planned) continue;
     a.planned = false;
     a.cls = a.column = -1;
+    if (indexing()) index_add(id, a);
   }
+  // The speculative batch (if any) was computed against the old plan.
+  spec_valid_ = false;
   return true;
 }
 
@@ -53,6 +64,13 @@ void OliveEmbedder::reset() {
   plan_used_.assign(plan_.num_classes(), {});
   for (int c = 0; c < plan_.num_classes(); ++c)
     plan_used_[c].assign(plan_.cls(c).columns.size(), 0.0);
+  rebuild_class_max();
+  elem_actives_.assign(substrate_.element_count(), {});
+  greedy_memo_.clear();
+  spec_.clear();
+  spec_cursor_ = 0;
+  spec_valid_ = false;
+  stats_ = {};
 }
 
 double OliveEmbedder::plan_residual(int cls, int column) const {
@@ -60,73 +78,142 @@ double OliveEmbedder::plan_residual(int cls, int column) const {
          plan_used_.at(cls).at(column);
 }
 
+void OliveEmbedder::refresh_class_max(int cls) {
+  const auto& cols = plan_.cls(cls).columns;
+  double mx = -std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < cols.size(); ++k)
+    mx = std::max(mx, cols[k].planned_demand - plan_used_[cls][k]);
+  class_max_[cls] = mx;
+}
+
+void OliveEmbedder::rebuild_class_max() {
+  class_max_.assign(plan_.num_classes(), 0.0);
+  for (int c = 0; c < plan_.num_classes(); ++c) refresh_class_max(c);
+}
+
+void OliveEmbedder::index_add(workload::RequestId id, Active& a) {
+  a.elem_pos.resize(a.usage.size());
+  for (std::size_t i = 0; i < a.usage.size(); ++i) {
+    auto& bucket = elem_actives_[a.usage[i].first];
+    a.elem_pos[i] = static_cast<int>(bucket.size());
+    bucket.push_back(id);
+  }
+}
+
+void OliveEmbedder::index_remove(workload::RequestId id, Active& a) {
+  for (std::size_t i = 0; i < a.usage.size(); ++i) {
+    auto& bucket = elem_actives_[a.usage[i].first];
+    const int pos = a.elem_pos[i];
+    OLIVE_ASSERT(bucket.at(pos) == id);
+    const workload::RequestId moved = bucket.back();
+    bucket[pos] = moved;
+    bucket.pop_back();
+    if (moved != id) {
+      // Backpatch the moved allocation's recorded position for this element
+      // (usage vectors aggregate per element, so the entry is unique).
+      Active& m = active_.at(moved);
+      for (std::size_t j = 0; j < m.usage.size(); ++j) {
+        if (m.usage[j].first == a.usage[i].first) {
+          m.elem_pos[j] = pos;
+          break;
+        }
+      }
+    }
+  }
+  a.elem_pos.clear();
+}
+
 EmbedOutcome OliveEmbedder::allocate(const workload::Request& r,
-                                     const net::Embedding& e, OutcomeKind kind,
+                                     net::Embedding e, OutcomeKind kind,
                                      int cls, int column,
-                                     std::vector<workload::RequestId> preempted) {
+                                     std::vector<workload::RequestId> preempted,
+                                     Usage usage, double unit_cost) {
   EmbedOutcome out;
   out.kind = kind;
-  out.usage = net::unit_usage(substrate_, apps_[r.app].topology, e);
-  out.unit_cost = net::unit_cost(substrate_, apps_[r.app].topology, e);
-  out.embedding = e;
+  out.usage = std::move(usage);
+  out.unit_cost = unit_cost;
+  out.embedding = std::move(e);
   out.preempted_ids = std::move(preempted);
   OLIVE_ASSERT(load_.fits(out.usage, r.demand));
   load_.apply(out.usage, r.demand);
 
   Active a;
-  a.usage = out.usage;
-  a.embedding = e;
+  a.usage = out.usage;  // the outcome and the ledger each keep a copy
+  a.embedding = out.embedding;
   a.app = r.app;
   a.demand = r.demand;
   a.planned = (kind == OutcomeKind::Planned);
   a.cls = cls;
   a.column = column;
   a.order = admission_counter_++;
-  if (a.planned) plan_used_[cls][column] += r.demand;
-  const bool inserted = active_.emplace(r.id, std::move(a)).second;
+  if (a.planned) {
+    plan_used_[cls][column] += r.demand;
+    refresh_class_max(cls);
+  }
+  const auto [it, inserted] = active_.emplace(r.id, std::move(a));
   OLIVE_ASSERT(inserted);
+  if (!it->second.planned && indexing()) index_add(r.id, it->second);
   return out;
 }
 
 std::optional<std::vector<workload::RequestId>> OliveEmbedder::preempt(
     const Usage& usage, double demand) {
   // Deficiency per element that the new allocation would overdraw.
-  std::vector<std::pair<int, double>> deficit;
+  deficit_.clear();
   for (const auto& [elem, amount] : usage) {
     const double need = amount * demand - load_.residual(elem);
-    if (need > 1e-9) deficit.emplace_back(elem, need);
+    if (need > 1e-9) deficit_.emplace_back(elem, need);
   }
-  if (deficit.empty()) return std::vector<workload::RequestId>{};
+  if (deficit_.empty()) return std::vector<workload::RequestId>{};
 
   // Candidate victims: non-planned active allocations that touch a
   // deficient element, smallest demand first (the paper does not fix a
   // victim order; preferring small victims minimizes the service lost per
-  // preemption), ties broken newest-first.
-  const auto touches_deficit = [&](const Active& a) {
-    for (const auto& [elem, need] : deficit) {
-      if (need <= 0) continue;
-      for (const auto& [ue, amt] : a.usage) {
-        (void)amt;
-        if (ue == elem) return true;
-      }
+  // preemption), ties broken newest-first.  (demand, order) is a strict
+  // total order over distinct allocations (orders are unique), so the
+  // sorted sequence is the same whether the set was gathered by the full
+  // scan below or by the per-element reverse index.
+  candidates_.clear();
+  if (indexing()) {
+    for (const auto& [elem, need] : deficit_) {
+      (void)need;
+      for (const workload::RequestId id : elem_actives_[elem])
+        candidates_.emplace_back(id, &active_.at(id));
     }
-    return false;
-  };
-  std::vector<std::pair<workload::RequestId, const Active*>> candidates;
-  for (const auto& [id, a] : active_)
-    if (!a.planned && touches_deficit(a)) candidates.emplace_back(id, &a);
-  std::sort(candidates.begin(), candidates.end(),
+  } else {
+    const auto touches_deficit = [&](const Active& a) {
+      for (const auto& [elem, need] : deficit_) {
+        if (need <= 0) continue;
+        for (const auto& [ue, amt] : a.usage) {
+          (void)amt;
+          if (ue == elem) return true;
+        }
+      }
+      return false;
+    };
+    for (const auto& [id, a] : active_)
+      if (!a.planned && touches_deficit(a)) candidates_.emplace_back(id, &a);
+  }
+  std::sort(candidates_.begin(), candidates_.end(),
             [](const auto& x, const auto& y) {
               if (x.second->demand != y.second->demand)
                 return x.second->demand < y.second->demand;
               return x.second->order > y.second->order;
             });
+  // The index path lists an allocation once per deficient element it
+  // touches; equal entries end up adjacent after the sort.
+  candidates_.erase(
+      std::unique(candidates_.begin(), candidates_.end(),
+                  [](const auto& x, const auto& y) {
+                    return x.first == y.first;
+                  }),
+      candidates_.end());
 
   std::vector<workload::RequestId> victims;
   double victim_demand = 0;
-  for (const auto& [id, a] : candidates) {
+  for (const auto& [id, a] : candidates_) {
     bool helps = false;
-    for (auto& [elem, need] : deficit) {
+    for (auto& [elem, need] : deficit_) {
       if (need <= 1e-9) continue;
       for (const auto& [ue, amt] : a->usage) {
         if (ue == elem) {
@@ -144,18 +231,21 @@ std::optional<std::vector<workload::RequestId>> OliveEmbedder::preempt(
     victim_demand += a->demand;
     if (victim_demand > demand * (1 + 1e-9)) return std::nullopt;
     victims.push_back(id);
-    for (auto& [elem, need] : deficit) {
+    for (auto& [elem, need] : deficit_) {
       for (const auto& [ue, amt] : a->usage)
         if (ue == elem) need -= amt * a->demand;
     }
     const bool covered = std::all_of(
-        deficit.begin(), deficit.end(),
+        deficit_.begin(), deficit_.end(),
         [](const auto& d) { return d.second <= 1e-9; });
     if (covered) {
-      // Commit: release the victims' resources and drop them.
+      // Commit: release the victims' resources and drop them.  release()
+      // bumps the grow-epoch, which invalidates the greedy memos and any
+      // in-flight speculative batch.
       for (const workload::RequestId vid : victims) {
-        const Active& victim = active_.at(vid);
+        Active& victim = active_.at(vid);
         load_.release(victim.usage, victim.demand);
+        if (indexing()) index_remove(vid, victim);
         active_.erase(vid);
       }
       return victims;
@@ -164,56 +254,311 @@ std::optional<std::vector<workload::RequestId>> OliveEmbedder::preempt(
   return std::nullopt;  // even full preemption would not make room
 }
 
+void OliveEmbedder::hint_arrivals(const workload::Request* batch,
+                                  std::size_t count) {
+  spec_valid_ = false;
+  if (!options_.enable_fastpath || batch == nullptr || count < 2) return;
+  const int width =
+      options_.spec_threads > 0 ? options_.spec_threads : default_thread_count();
+  if (width <= 1) return;
+  spec_.assign(count, SpecDecision{});
+  ThreadPool& pool = ThreadPool::global();
+  pool.ensure_workers(width - 1);
+  // Read-only against the frozen state: speculate() never touches load_,
+  // plan_used_, active_, the memo, or the stats — each task writes only its
+  // own pre-sized slot, so the batch is deterministic at any width.
+  pool.parallel_for(
+      static_cast<int>(count),
+      [&](int i) { speculate(batch[i], spec_[i]); }, width);
+  spec_cursor_ = 0;
+  spec_epoch_ = load_.grow_epoch();
+  spec_valid_ = true;
+}
+
+void OliveEmbedder::speculate(const workload::Request& r,
+                              SpecDecision& out) const {
+  using Kind = SpecDecision::Kind;
+  out.id = r.id;
+  if (r.app < 0 || r.app >= static_cast<int>(apps_.size()) ||
+      active_.contains(r.id)) {
+    out.kind = Kind::Serial;  // let embed()'s own REQUIREs fire
+    return;
+  }
+  const int cls = plan_.class_index(r.app, r.ingress);
+  if (cls >= 0) {
+    const PlanClass& pc = plan_.cls(cls);
+    const double cmax = class_max_[cls];
+    if (cmax >= r.demand - 1e-9) {
+      for (std::size_t k = 0; k < pc.columns.size(); ++k) {
+        if (plan_residual(cls, static_cast<int>(k)) < r.demand - 1e-9)
+          continue;
+        if (load_.fits(pc.columns[k].usage, r.demand)) {
+          out.kind = Kind::Planned;
+          out.cls = cls;
+          out.column = static_cast<int>(k);
+          return;
+        }
+      }
+      if (options_.enable_preempt) {
+        // The preempt stage would run (some column holds plan residual for
+        // the full demand) — it mutates state, so it cannot be speculated.
+        out.kind = Kind::Serial;
+        return;
+      }
+    }
+    if (options_.enable_borrow && cmax > 1e-9) {
+      for (std::size_t k = 0; k < pc.columns.size(); ++k) {
+        if (plan_residual(cls, static_cast<int>(k)) <= 1e-9) continue;
+        if (load_.fits(pc.columns[k].usage, r.demand)) {
+          out.kind = Kind::Borrowed;
+          out.cls = cls;
+          out.column = static_cast<int>(k);
+          return;
+        }
+      }
+    }
+  }
+  if (options_.enable_greedy) {
+    // Read-only memo consult (no counter updates from worker threads).
+    const auto it = greedy_memo_.find(class_key(r.app, r.ingress));
+    if (it != greedy_memo_.end()) {
+      const GreedyMemo& m = it->second;
+      if (m.epoch == load_.grow_epoch() && r.demand >= m.demand) {
+        if (!m.feasible) {
+          out.kind = Kind::Reject;
+          return;
+        }
+        bool ok = true;
+        for (const auto& [elem, amt] : m.usage) {
+          if (load_.residual(elem) < amt * r.demand - 1e-9) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          out.usage = m.usage;
+          out.embedding = m.embedding;
+          out.unit_cost = m.unit_cost;
+          out.kind = Kind::Greedy;
+          return;
+        }
+      }
+    }
+    if (auto emb = greedy_collocated_embedding(substrate_,
+                                               apps_[r.app].topology, r.ingress,
+                                               r.demand, load_, link_weights_)) {
+      out.usage = net::unit_usage(substrate_, apps_[r.app].topology, *emb);
+      out.unit_cost = net::unit_cost(substrate_, apps_[r.app].topology, *emb);
+      out.embedding = std::move(*emb);
+      out.kind = Kind::Greedy;
+      return;
+    }
+  }
+  out.kind = Kind::Reject;
+}
+
+OliveEmbedder::SpecDecision* OliveEmbedder::next_spec(
+    const workload::Request& r) {
+  if (!spec_valid_) return nullptr;
+  if (spec_epoch_ != load_.grow_epoch() || spec_cursor_ >= spec_.size()) {
+    spec_valid_ = false;  // something grew a residual — the frozen state lied
+    return nullptr;
+  }
+  SpecDecision& d = spec_[spec_cursor_];
+  if (d.id != r.id || d.kind == SpecDecision::Kind::Unset) {
+    spec_valid_ = false;  // out-of-order embed — drop the whole batch
+    return nullptr;
+  }
+  ++spec_cursor_;
+  return &d;
+}
+
 EmbedOutcome OliveEmbedder::embed(const workload::Request& r) {
   OLIVE_REQUIRE(r.app >= 0 && r.app < static_cast<int>(apps_.size()),
                 "request app out of range");
   OLIVE_REQUIRE(!active_.contains(r.id), "duplicate request id");
 
+  // Speculation commit: validate the precomputed decision against the live
+  // state.  Plan residuals and substrate residuals only shrink within a
+  // grow-epoch (next_spec checked it), so a stage that failed at hint time
+  // still fails now — only the *chosen* column / embedding needs rechecking,
+  // and a rejection needs none (docs/olive-fastpath.md).
+  if (SpecDecision* d = next_spec(r)) {
+    using Kind = SpecDecision::Kind;
+    switch (d->kind) {
+      case Kind::Serial:
+        ++stats_.spec_serial;
+        break;
+      case Kind::Reject:
+        ++stats_.spec_commits;
+        return EmbedOutcome{};
+      case Kind::Planned: {
+        const PlanColumn& col = plan_.cls(d->cls).columns[d->column];
+        if (plan_residual(d->cls, d->column) >= r.demand - 1e-9 &&
+            load_.fits(col.usage, r.demand)) {
+          ++stats_.spec_commits;
+          return allocate(r, col.embedding, OutcomeKind::Planned, d->cls,
+                          d->column, {}, col.usage, col.unit_cost);
+        }
+        ++stats_.spec_misses;
+        break;
+      }
+      case Kind::Borrowed: {
+        const PlanColumn& col = plan_.cls(d->cls).columns[d->column];
+        if (plan_residual(d->cls, d->column) > 1e-9 &&
+            load_.fits(col.usage, r.demand)) {
+          ++stats_.spec_commits;
+          return allocate(r, col.embedding, OutcomeKind::Borrowed, d->cls,
+                          d->column, {}, col.usage, col.unit_cost);
+        }
+        ++stats_.spec_misses;
+        break;
+      }
+      case Kind::Greedy: {
+        bool ok = true;
+        for (const auto& [elem, amt] : d->usage) {
+          if (load_.residual(elem) < amt * r.demand - 1e-9) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          ++stats_.spec_commits;
+          // Refresh the memo for later same-class arrivals of this slot.
+          GreedyMemo& m = greedy_memo_[class_key(r.app, r.ingress)];
+          m.epoch = load_.grow_epoch();
+          m.demand = r.demand;
+          m.feasible = true;
+          m.usage = d->usage;
+          m.embedding = d->embedding;
+          m.unit_cost = d->unit_cost;
+          return allocate(r, std::move(d->embedding), OutcomeKind::Greedy, -1,
+                          -1, {}, std::move(d->usage), d->unit_cost);
+        }
+        ++stats_.spec_misses;
+        break;
+      }
+      case Kind::Unset:
+        break;  // unreachable: next_spec filters Unset
+    }
+  }
+  return embed_serial(r);
+}
+
+EmbedOutcome OliveEmbedder::embed_serial(const workload::Request& r) {
   const int cls = plan_.class_index(r.app, r.ingress);
+  const bool fast = options_.enable_fastpath;
 
   if (cls >= 0) {
     const PlanClass& pc = plan_.cls(cls);
-    // --- PLANEMBED, full fit (Alg. 2 line 25): plan residual covers d(r).
-    // First pass: a column that fits the substrate as-is; preemption (lines
-    // 8-9) is a last resort, only once no column fits without it —
-    // otherwise borrowed allocations get churned needlessly.
-    for (std::size_t k = 0; k < pc.columns.size(); ++k) {
-      if (plan_residual(cls, static_cast<int>(k)) < r.demand - 1e-9) continue;
-      const PlanColumn& col = pc.columns[k];
-      if (load_.fits(col.usage, r.demand)) {
-        return allocate(r, col.embedding, OutcomeKind::Planned, cls,
-                        static_cast<int>(k), {});
-      }
-    }
-    if (options_.enable_preempt) {
-      // Guaranteed share: free "borrowed" capacity (lines 8-9).
+    // class_max_[cls] is the exact max of the class's plan residuals, so a
+    // stage whose per-column residual gate cannot pass is skipped wholesale.
+    const double cmax = fast ? class_max_[cls] : 0.0;
+    if (!fast || cmax >= r.demand - 1e-9) {
+      // --- PLANEMBED, full fit (Alg. 2 line 25): plan residual covers d(r).
+      // First pass: a column that fits the substrate as-is; preemption
+      // (lines 8-9) is a last resort, only once no column fits without it —
+      // otherwise borrowed allocations get churned needlessly.
       for (std::size_t k = 0; k < pc.columns.size(); ++k) {
-        if (plan_residual(cls, static_cast<int>(k)) < r.demand - 1e-9) continue;
+        if (plan_residual(cls, static_cast<int>(k)) < r.demand - 1e-9)
+          continue;
         const PlanColumn& col = pc.columns[k];
-        if (auto preempted = preempt(col.usage, r.demand)) {
+        if (load_.fits(col.usage, r.demand)) {
           return allocate(r, col.embedding, OutcomeKind::Planned, cls,
-                          static_cast<int>(k), std::move(*preempted));
+                          static_cast<int>(k), {}, col.usage, col.unit_cost);
         }
       }
+      if (options_.enable_preempt) {
+        // Guaranteed share: free "borrowed" capacity (lines 8-9).
+        for (std::size_t k = 0; k < pc.columns.size(); ++k) {
+          if (plan_residual(cls, static_cast<int>(k)) < r.demand - 1e-9)
+            continue;
+          const PlanColumn& col = pc.columns[k];
+          if (auto preempted = preempt(col.usage, r.demand)) {
+            return allocate(r, col.embedding, OutcomeKind::Planned, cls,
+                            static_cast<int>(k), std::move(*preempted),
+                            col.usage, col.unit_cost);
+          }
+        }
+      }
+    } else {
+      ++stats_.column_skips;
     }
     // --- PLANEMBED, partial fit (line 27): borrow along a plan column.
     if (options_.enable_borrow) {
-      for (std::size_t k = 0; k < pc.columns.size(); ++k) {
-        const PlanColumn& col = pc.columns[k];
-        if (plan_residual(cls, static_cast<int>(k)) <= 1e-9) continue;
-        if (load_.fits(col.usage, r.demand)) {
-          return allocate(r, col.embedding, OutcomeKind::Borrowed, cls,
-                          static_cast<int>(k), {});
+      if (!fast || cmax > 1e-9) {
+        for (std::size_t k = 0; k < pc.columns.size(); ++k) {
+          const PlanColumn& col = pc.columns[k];
+          if (plan_residual(cls, static_cast<int>(k)) <= 1e-9) continue;
+          if (load_.fits(col.usage, r.demand)) {
+            return allocate(r, col.embedding, OutcomeKind::Borrowed, cls,
+                            static_cast<int>(k), {}, col.usage, col.unit_cost);
+          }
         }
+      } else {
+        ++stats_.column_skips;
       }
     }
   }
 
   // --- GREEDYEMBED fallback (line 11).
   if (options_.enable_greedy) {
-    if (auto emb = greedy_collocated_embedding(
-            substrate_, apps_[r.app].topology, r.ingress, r.demand, load_)) {
-      return allocate(r, *emb, OutcomeKind::Greedy, -1, -1, {});
+    if (fast) {
+      const long long key = class_key(r.app, r.ingress);
+      const auto it = greedy_memo_.find(key);
+      if (it != greedy_memo_.end()) {
+        GreedyMemo& m = it->second;
+        if (m.epoch != load_.grow_epoch()) {
+          ++stats_.greedy_memo_invalidations;
+        } else if (r.demand >= m.demand) {
+          // Same epoch, no smaller demand: the feasible set only shrank
+          // since the memo was taken, so an infeasible memo stays
+          // infeasible, and a feasible one that still passes the greedy's
+          // own element-wise residual check (strictly tighter than
+          // LoadTracker::fits) is exactly what GREEDYEMBED would return.
+          if (!m.feasible) {
+            ++stats_.greedy_memo_hits;
+            return EmbedOutcome{};
+          }
+          bool ok = true;
+          for (const auto& [elem, amt] : m.usage) {
+            if (load_.residual(elem) < amt * r.demand - 1e-9) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) {
+            ++stats_.greedy_memo_hits;
+            return allocate(r, m.embedding, OutcomeKind::Greedy, -1, -1, {},
+                            m.usage, m.unit_cost);
+          }
+        }
+      }
+      ++stats_.greedy_memo_misses;
+      auto emb = greedy_collocated_embedding(substrate_, apps_[r.app].topology,
+                                             r.ingress, r.demand, load_,
+                                             link_weights_);
+      GreedyMemo& m = greedy_memo_[key];
+      m.epoch = load_.grow_epoch();
+      m.demand = r.demand;
+      m.feasible = emb.has_value();
+      if (emb) {
+        m.usage = net::unit_usage(substrate_, apps_[r.app].topology, *emb);
+        m.unit_cost = net::unit_cost(substrate_, apps_[r.app].topology, *emb);
+        m.embedding = *emb;
+        return allocate(r, std::move(*emb), OutcomeKind::Greedy, -1, -1, {},
+                        Usage(m.usage), m.unit_cost);
+      }
+      m.usage.clear();
+      m.embedding = net::Embedding{};
+      m.unit_cost = 0;
+    } else if (auto emb = greedy_collocated_embedding(
+                   substrate_, apps_[r.app].topology, r.ingress, r.demand,
+                   load_, link_weights_)) {
+      Usage usage = net::unit_usage(substrate_, apps_[r.app].topology, *emb);
+      const double uc = net::unit_cost(substrate_, apps_[r.app].topology, *emb);
+      return allocate(r, std::move(*emb), OutcomeKind::Greedy, -1, -1, {},
+                      std::move(usage), uc);
     }
   }
 
@@ -221,6 +566,9 @@ EmbedOutcome OliveEmbedder::embed(const workload::Request& r) {
 }
 
 bool OliveEmbedder::set_element_capacity(int element, double capacity) {
+  // A raise bumps the grow-epoch (invalidating memos and speculation); a
+  // drop only shrinks residuals, which every cached decision revalidates
+  // against anyway.
   load_.set_capacity(element, capacity);
   return true;
 }
@@ -228,11 +576,12 @@ bool OliveEmbedder::set_element_capacity(int element, double capacity) {
 std::optional<EmbedOutcome> OliveEmbedder::adopt(const workload::Request& r,
                                                  const net::Embedding& e) {
   OLIVE_REQUIRE(!active_.contains(r.id), "adopt of a still-active request");
-  const Usage usage = net::unit_usage(substrate_, apps_[r.app].topology, e);
+  Usage usage = net::unit_usage(substrate_, apps_[r.app].topology, e);
   if (!load_.fits(usage, r.demand)) return std::nullopt;
+  const double uc = net::unit_cost(substrate_, apps_[r.app].topology, e);
   // Migrated allocations are ad-hoc: they hold no plan share and are
   // preemptible like any greedy embedding.
-  return allocate(r, e, OutcomeKind::Greedy, -1, -1, {});
+  return allocate(r, e, OutcomeKind::Greedy, -1, -1, {}, std::move(usage), uc);
 }
 
 std::vector<OliveEmbedder::ActiveAllocation>
@@ -249,9 +598,14 @@ OliveEmbedder::active_allocations() const {
 void OliveEmbedder::depart(const workload::Request& r) {
   const auto it = active_.find(r.id);
   if (it == active_.end()) return;  // rejected or preempted earlier
-  const Active& a = it->second;
+  Active& a = it->second;
   load_.release(a.usage, a.demand);
-  if (a.planned) plan_used_[a.cls][a.column] -= a.demand;
+  if (a.planned) {
+    plan_used_[a.cls][a.column] -= a.demand;
+    refresh_class_max(a.cls);
+  } else if (indexing()) {
+    index_remove(r.id, a);
+  }
   active_.erase(it);
 }
 

@@ -13,8 +13,24 @@
 //
 // QUICKG is OLIVE with the empty plan (steps 1–2 vanish), exactly as the
 // paper defines it.
+//
+// Admission fast path (docs/olive-fastpath.md): the decision sequence above
+// is the *specification*; when options.enable_fastpath is on, embed() takes
+// provably bit-identical shortcuts —
+//   * a per-class running maximum of plan residuals skips whole PLANEMBED
+//     stages when no column can pass its residual gate;
+//   * a per-element reverse index of non-planned allocations replaces the
+//     full active-set scan inside preempt();
+//   * GREEDYEMBED results are memoized per class and revalidated against
+//     the LoadTracker grow-epoch plus an element-wise residual check;
+//   * hint_arrivals() speculatively evaluates a whole slot's arrivals in
+//     parallel against the frozen state, and embed() commits each decision
+//     after a monotonicity-based validation (recomputing on a miss).
+// Every shortcut preserves the exact decision (and embedding bytes) the
+// specification path would produce, at any thread count.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
 
@@ -30,6 +46,14 @@ struct OliveOptions {
   bool enable_borrow = true;   ///< partial plan fit (Alg. 2 line 27)
   bool enable_preempt = true;  ///< preempt borrowers for planned demand
   bool enable_greedy = true;   ///< GREEDYEMBED fallback (line 11)
+  /// Admission fast path (cache + speculation, docs/olive-fastpath.md).
+  /// Off = the literal specification path; decisions are identical either
+  /// way (the fuzz suite asserts it), so this is a perf toggle, not an
+  /// ablation mechanism.
+  bool enable_fastpath = true;
+  /// Speculation width for hint_arrivals: 0 = default_thread_count()
+  /// (OLIVE_THREADS), 1 = speculation disabled, >1 = that many threads.
+  int spec_threads = 0;
 };
 
 class OliveEmbedder final : public OnlineEmbedder {
@@ -50,6 +74,9 @@ class OliveEmbedder final : public OnlineEmbedder {
   std::string name() const override { return name_; }
   void reset() override;
   EmbedOutcome embed(const workload::Request& r) override;
+  void hint_arrivals(const workload::Request* batch,
+                     std::size_t count) override;
+  FastPathStats fastpath_stats() const override { return stats_; }
   void depart(const workload::Request& r) override;
   const LoadTracker& load() const override { return load_; }
 
@@ -80,6 +107,10 @@ class OliveEmbedder final : public OnlineEmbedder {
   struct Active {
     Usage usage;
     net::Embedding embedding;
+    /// Position of this allocation inside elem_actives_[usage[i].first],
+    /// parallel to `usage`.  Maintained only while the allocation is
+    /// indexed (non-planned, fast path on); empty otherwise.
+    std::vector<int> elem_pos;
     int app = -1;
     double demand = 0;
     bool planned = false;
@@ -87,9 +118,46 @@ class OliveEmbedder final : public OnlineEmbedder {
     int order = 0;              // admission order, newest preempted first
   };
 
-  EmbedOutcome allocate(const workload::Request& r, const net::Embedding& e,
+  /// Memoized GREEDYEMBED answer for one (app, ingress) class.  Valid for a
+  /// later request iff the grow-epoch matches and its demand >= `demand`
+  /// (feasible sets only shrink within an epoch); a feasible memo must
+  /// additionally pass the element-wise residual check at the new demand.
+  struct GreedyMemo {
+    std::uint64_t epoch = 0;
+    double demand = 0;
+    bool feasible = false;
+    Usage usage;
+    net::Embedding embedding;
+    double unit_cost = 0;
+  };
+
+  /// One speculative decision produced by hint_arrivals for one arrival.
+  struct SpecDecision {
+    enum class Kind : std::uint8_t {
+      Unset,     ///< speculation did not run / produced nothing
+      Serial,    ///< declined (preempt stage live) — derive serially
+      Reject,
+      Planned,   ///< plan column `column` of class `cls`, full fit
+      Borrowed,  ///< plan column `column` of class `cls`, partial fit
+      Greedy,    ///< `embedding`/`usage`/`unit_cost` hold the result
+    };
+    Kind kind = Kind::Unset;
+    workload::RequestId id = -1;
+    int cls = -1, column = -1;
+    Usage usage;
+    net::Embedding embedding;
+    double unit_cost = 0;
+  };
+
+  EmbedOutcome allocate(const workload::Request& r, net::Embedding e,
                         OutcomeKind kind, int cls, int column,
-                        std::vector<workload::RequestId> preempted);
+                        std::vector<workload::RequestId> preempted,
+                        Usage usage, double unit_cost);
+
+  /// The specification decision sequence (optionally consulting the greedy
+  /// memo / class-max shortcuts) — everything of embed() except the
+  /// speculation commit.
+  EmbedOutcome embed_serial(const workload::Request& r);
 
   /// Frees non-planned allocations overlapping the deficient elements until
   /// `usage`*demand fits, newest victims first.  Returns the preempted ids,
@@ -97,6 +165,22 @@ class OliveEmbedder final : public OnlineEmbedder {
   /// allocation would not make room.
   std::optional<std::vector<workload::RequestId>> preempt(const Usage& usage,
                                                           double demand);
+
+  /// Read-only candidate evaluation for one arrival against the current
+  /// (frozen) state; runs concurrently from hint_arrivals.
+  void speculate(const workload::Request& r, SpecDecision& out) const;
+
+  /// Pops the next speculative decision if it matches r and the speculation
+  /// batch is still valid; nullptr otherwise.  The returned slot may be
+  /// moved from (it is consumed either way).
+  SpecDecision* next_spec(const workload::Request& r);
+
+  // --- fast-path index maintenance -------------------------------------
+  bool indexing() const noexcept { return options_.enable_fastpath; }
+  void index_add(workload::RequestId id, Active& a);
+  void index_remove(workload::RequestId id, Active& a);
+  void refresh_class_max(int cls);
+  void rebuild_class_max();
 
   const net::SubstrateNetwork& substrate_;
   const std::vector<net::Application>& apps_;
@@ -107,6 +191,29 @@ class OliveEmbedder final : public OnlineEmbedder {
   std::vector<std::vector<double>> plan_used_;  // [class][column] demand
   std::unordered_map<workload::RequestId, Active> active_;
   int admission_counter_ = 0;
+
+  /// Dijkstra weights of GREEDYEMBED — pure function of the substrate,
+  /// hoisted out of the per-request loop.
+  std::vector<double> link_weights_;
+  /// max_k plan_residual(cls, k), kept exact on every plan_used_ change —
+  /// lets embed() skip whole PLANEMBED stages without touching a column.
+  std::vector<double> class_max_;
+  /// elem_actives_[element] = ids of *non-planned* actives whose usage
+  /// touches that element (the preempt candidate set), with O(1)
+  /// swap-remove via Active::elem_pos.
+  std::vector<std::vector<workload::RequestId>> elem_actives_;
+  std::unordered_map<long long, GreedyMemo> greedy_memo_;
+
+  std::vector<SpecDecision> spec_;
+  std::size_t spec_cursor_ = 0;
+  std::uint64_t spec_epoch_ = 0;
+  bool spec_valid_ = false;
+
+  FastPathStats stats_;
+
+  // preempt() scratch (reused across calls, cleared on entry)
+  std::vector<std::pair<int, double>> deficit_;
+  std::vector<std::pair<workload::RequestId, const Active*>> candidates_;
 };
 
 }  // namespace olive::core

@@ -107,6 +107,17 @@ double usage_on(const core::Usage& usage, int element) {
   return 0.0;
 }
 
+void fold_fastpath(SimMetrics& metrics, const core::OnlineEmbedder& algo) {
+  const core::FastPathStats fp = algo.fastpath_stats();
+  metrics.fastpath_greedy_hits = fp.greedy_memo_hits;
+  metrics.fastpath_greedy_misses = fp.greedy_memo_misses;
+  metrics.fastpath_greedy_invalidations = fp.greedy_memo_invalidations;
+  metrics.fastpath_column_skips = fp.column_skips;
+  metrics.fastpath_spec_commits = fp.spec_commits;
+  metrics.fastpath_spec_misses = fp.spec_misses;
+  metrics.fastpath_spec_serial = fp.spec_serial;
+}
+
 void accumulate_solve(SimMetrics& metrics, const core::PlanSolveInfo& info) {
   metrics.plan_solves += 1;
   metrics.plan_simplex_iterations += info.simplex_iterations;
@@ -404,13 +415,23 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
     metrics.algo_seconds += seconds_since(dep_start);
 
     // 2. Arrivals at slot t, in trace order.  (Arrivals beyond n_slots are
-    // never processed — they cannot affect window metrics.)
-    while (next < trace.size() && trace[next].arrival - base == t) {
+    // never processed — they cannot affect window metrics.)  The whole
+    // slot's batch is announced first so the embedder may speculate on it
+    // in parallel; embed() itself stays sequential and authoritative.
+    std::size_t slot_end = next;
+    while (slot_end < trace.size() && trace[slot_end].arrival - base == t)
+      ++slot_end;
+    if (slot_end > next) {
+      const auto hint_start = Clock::now();
+      algo.hint_arrivals(&trace[next], slot_end - next);
+      metrics.algo_seconds += seconds_since(hint_start);
+    }
+    while (next < slot_end) {
       const workload::Request& r = trace[next++];
       tally.offered(r, t);
 
       const auto start = Clock::now();
-      const core::EmbedOutcome outcome = algo.embed(r);
+      core::EmbedOutcome outcome = algo.embed(r);
       metrics.algo_seconds += seconds_since(start);
 
       if (sim.record_requests) {
@@ -427,8 +448,10 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
       }
       Info accepted_info{&r, true, outcome.unit_cost, {}, {}};
       if (dynamics) {
-        accepted_info.usage = outcome.usage;
-        accepted_info.embedding = outcome.embedding;
+        // The observers above already saw the outcome; from here ownership
+        // transfers to the engine's per-allocation snapshot.
+        accepted_info.usage = std::move(outcome.usage);
+        accepted_info.embedding = std::move(outcome.embedding);
       }
       info[r.id] = std::move(accepted_info);
       active_cost += r.demand * outcome.unit_cost;
@@ -471,6 +494,7 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
     acc += alloc_diff[t];
     metrics.allocated_series[t] = acc;
   }
+  fold_fastpath(metrics, algo);
   return metrics;
 }
 
@@ -543,8 +567,15 @@ SimMetrics Engine::run_stream(core::OnlineEmbedder& algo,
     }
     metrics.algo_seconds += seconds_since(dep_start);
 
-    // 2. Arrivals at slot t, in stream order.
+    // 2. Arrivals at slot t, in stream order.  The slot buffer is exactly
+    // the batch contract of hint_arrivals: it stays untouched until every
+    // one of its requests has gone through embed().
     if (cur >= 0 && cur - base == t) {
+      if (!slot_buf.empty()) {
+        const auto hint_start = Clock::now();
+        algo.hint_arrivals(slot_buf.data(), slot_buf.size());
+        metrics.algo_seconds += seconds_since(hint_start);
+      }
       for (const workload::Request& r : slot_buf) {
         offered_diff[t] += r.demand;
         offered_diff[std::min(r.departure() - base, n_slots)] -= r.demand;
@@ -599,6 +630,7 @@ SimMetrics Engine::run_stream(core::OnlineEmbedder& algo,
     alloc_acc += alloc_diff[t];
     metrics.allocated_series[t] = alloc_acc;
   }
+  fold_fastpath(metrics, algo);
   return metrics;
 }
 

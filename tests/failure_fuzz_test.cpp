@@ -76,9 +76,12 @@ FuzzShape shape_from_seed(std::uint64_t seed) {
 }
 
 /// One full engine-driven run of the shape at the given pricing thread
-/// count and master-LP basis.
+/// count and master-LP basis.  `opt` selects the OLIVE admission path —
+/// the fast-path differential below runs the same shape with the cache /
+/// speculation machinery on and off.
 core::SimMetrics run_shape(const FuzzShape& shape, int threads,
-                           lp::BasisKind basis) {
+                           lp::BasisKind basis,
+                           core::OliveOptions opt = {}) {
   core::ScenarioConfig cfg = shape.cfg;
   cfg.plan.threads = threads;
   cfg.plan.lp.basis = basis;
@@ -96,7 +99,7 @@ core::SimMetrics run_shape(const FuzzShape& shape, int threads,
     ecfg.replan.seed = cfg.seed;
   }
   engine::Engine eng(sc.substrate, sc.apps, ecfg);
-  core::OliveEmbedder algo(sc.substrate, sc.apps, sc.plan);
+  core::OliveEmbedder algo(sc.substrate, sc.apps, sc.plan, "OLIVE", opt);
   return eng.run(algo, sc.online);
 }
 
@@ -140,6 +143,29 @@ TEST_P(FailureFuzzTest, BitIdenticalAcrossThreadCounts) {
       run_shape(shape, 4, lp::BasisKind::SparseLU);
   expect_identical(serial, parallel,
                    "threads 1 vs 4, seed " + std::to_string(GetParam()));
+}
+
+TEST_P(FailureFuzzTest, FastPathCacheBitIdentical) {
+  // The admission fast path (docs/olive-fastpath.md) under the full
+  // substrate-dynamics gauntlet: failures, preemption, rescales, plan
+  // hot-swaps.  Decisions must be bit-identical with the cache off, with it
+  // on but unspeculated (spec_threads = 1), and with forced 4-wide
+  // speculation — FastPathStats are diagnostics and excluded on purpose.
+  const FuzzShape shape = shape_from_seed(GetParam());
+  core::OliveOptions off;
+  off.enable_fastpath = false;
+  core::OliveOptions cache_only;
+  cache_only.spec_threads = 1;
+  core::OliveOptions spec4;
+  spec4.spec_threads = 4;
+  const core::SimMetrics base =
+      run_shape(shape, 1, lp::BasisKind::SparseLU, off);
+  EXPECT_GT(base.offered, 0);
+  expect_identical(base,
+                   run_shape(shape, 1, lp::BasisKind::SparseLU, cache_only),
+                   "fastpath off vs cache, seed " + std::to_string(GetParam()));
+  expect_identical(base, run_shape(shape, 1, lp::BasisKind::SparseLU, spec4),
+                   "fastpath off vs spec4, seed " + std::to_string(GetParam()));
 }
 
 TEST_P(FailureFuzzTest, DenseAndSparseLuCostsMatch) {
