@@ -78,6 +78,9 @@ struct BenchCli {
   /// already reflects it either way; benches with their own rep defaults
   /// check this to tell "flag given" from "scale default").
   int reps_override = 0;
+  /// Open-loop bench knobs; 0 = flag absent (bench default applies).
+  double duration_s = 0;
+  int target_rps = 0;
 };
 
 /// The parsed CLI of this bench process (set once by parse_cli).
@@ -90,9 +93,13 @@ inline BenchCli& bench_cli() {
   (exit_code == 0 ? std::cout : std::cerr)
       << "usage: " << prog
       << " [--scale quick|full] [--reps N] [--topology FILTER]"
-         " [--algo FILTER] [--json PATH] [--threads N]\n"
+         " [--algo FILTER] [--json PATH] [--threads N]"
+         " [--duration-s S] [--target-rps N]\n"
          "Filters are substring matches over the names a bench sweeps;"
-         " env defaults: OLIVE_REPRO_FULL=1, OLIVE_BENCH_REPS=N.\n";
+         " env defaults: OLIVE_REPRO_FULL=1, OLIVE_BENCH_REPS=N.\n"
+         "--duration-s/--target-rps drive the open-loop serving benches\n"
+         "(wall seconds and Poisson arrival rate; other benches ignore"
+         " them).\n";
   std::exit(exit_code);
 }
 
@@ -102,6 +109,10 @@ struct CliArgs {
   int reps = 0;              ///< 0 = flag absent
   std::string topology, algo, json;
   int threads = 0;  ///< 0 = flag absent
+  /// Open-loop bench knobs (bench/serve_load.cpp): wall seconds to run and
+  /// the Poisson arrival rate.  0 = flag absent (bench default applies).
+  double duration_s = 0;
+  int target_rps = 0;
   bool help = false;
 };
 
@@ -138,6 +149,24 @@ inline bool parse_cli_args(const std::vector<std::string>& args, CliArgs& out,
     dst = parsed;
     return true;
   };
+  const auto positive_double = [&](const std::string& flag, std::size_t& i,
+                                   double& dst) {
+    std::string v;
+    if (!value(i, v)) return false;
+    std::size_t consumed = 0;
+    double parsed = 0;
+    try {
+      parsed = std::stod(v, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != v.size() || !(parsed > 0)) {
+      error = flag + " expects a positive number, got '" + v + "'";
+      return false;
+    }
+    dst = parsed;
+    return true;
+  };
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--scale") {
@@ -156,6 +185,10 @@ inline bool parse_cli_args(const std::vector<std::string>& args, CliArgs& out,
       if (!value(i, out.json)) return false;
     } else if (arg == "--threads") {
       if (!positive_int("--threads", i, out.threads)) return false;
+    } else if (arg == "--duration-s") {
+      if (!positive_double("--duration-s", i, out.duration_s)) return false;
+    } else if (arg == "--target-rps") {
+      if (!positive_int("--target-rps", i, out.target_rps)) return false;
     } else if (arg == "--help" || arg == "-h") {
       out.help = true;
     } else {
@@ -194,6 +227,8 @@ inline const BenchCli& parse_cli(int argc, char** argv) {
   cli.json = args.json;
   if (args.reps > 0) cli.scale.reps = args.reps;
   cli.reps_override = args.reps;
+  cli.duration_s = args.duration_s;
+  cli.target_rps = args.target_rps;
   bench_cli() = cli;
   return bench_cli();
 }
@@ -386,7 +421,7 @@ inline void write_json(const std::string& bench,
 }
 
 // ---------------------------------------------------------------------------
-// BENCH_perf.json emission (schema olive-perf-v6, see EXPERIMENTS.md).
+// BENCH_perf.json emission (schema olive-perf-v7, see EXPERIMENTS.md).
 // Shared here so the perf harness and any future bench emit identical rows.
 
 /// One measured case of the perf trajectory.
@@ -428,6 +463,16 @@ struct PerfCase {
   long cache_hits = -1;
   long cache_invalidations = -1;
   long spec_misses = -1;
+  /// v7 (open-loop serving cases only; -1 elsewhere): admission-latency
+  /// percentiles from the serve layer's log2 histogram (bucket upper
+  /// bounds, docs/serving.md), submissions bounced by queue backpressure,
+  /// and serving-thread milliseconds blocked inside plan hot-swaps
+  /// (installed swaps ride in `replans`).
+  double p50_us = -1;
+  double p99_us = -1;
+  double p999_us = -1;
+  long queue_rejects = -1;
+  double swap_stall_ms = -1;
 };
 
 inline std::string json_num(double v) {
@@ -441,7 +486,7 @@ inline void write_perf_json(const std::string& path, const BenchScale& scale,
                             const std::vector<PerfCase>& cases) {
   std::ofstream out(path);
   out << "{\n"
-      << "  \"schema\": \"olive-perf-v6\",\n"
+      << "  \"schema\": \"olive-perf-v7\",\n"
       << "  \"scale\": \"" << (scale.full ? "full" : "quick") << "\",\n"
       << "  \"pricing_threads\": " << pricing_threads << ",\n"
       << "  \"harness_threads\": 1,\n"
@@ -475,6 +520,13 @@ inline void write_perf_json(const std::string& path, const BenchScale& scale,
     if (c.cache_invalidations >= 0)
       out << ", \"cache_invalidations\": " << c.cache_invalidations;
     if (c.spec_misses >= 0) out << ", \"spec_misses\": " << c.spec_misses;
+    if (c.p50_us >= 0) out << ", \"p50_us\": " << json_num(c.p50_us);
+    if (c.p99_us >= 0) out << ", \"p99_us\": " << json_num(c.p99_us);
+    if (c.p999_us >= 0) out << ", \"p999_us\": " << json_num(c.p999_us);
+    if (c.queue_rejects >= 0)
+      out << ", \"queue_rejects\": " << c.queue_rejects;
+    if (c.swap_stall_ms >= 0)
+      out << ", \"swap_stall_ms\": " << json_num(c.swap_stall_ms);
     out << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

@@ -12,12 +12,16 @@ namespace olive::engine {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// Wall clock for timing diagnostics ONLY (algo_seconds, replan_seconds,
+// hint_seconds, ...).  No simulation decision may read it: the simulated
+// determinism contract (docs/serving.md) requires zero wall-time entropy on
+// bit-identical paths.  The serve layer's SimulatedClock audit pins this.
+using WallClock = std::chrono::steady_clock;
 using core::SimMetrics;
 using core::SimulatorConfig;
 
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
+double seconds_since(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
 }
 
 /// Offered-demand series (demand of all requests over their lifetime, had
@@ -212,7 +216,7 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
     // releases and arrivals: slot t is the first slot served by the new
     // plan.
     if (replan.pending_install_slot() == t) {
-      const auto wait_start = Clock::now();
+      const auto wait_start = WallClock::now();
       ReplanPolicy::Result res = replan.collect();
       const bool accepted = algo.install_plan(std::move(res.plan));
       metrics.algo_seconds += seconds_since(wait_start);
@@ -234,7 +238,7 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
     while (next_event < fail_trace.size() &&
            fail_trace[next_event].slot == t) {
       const workload::FailureEvent& ev = fail_trace[next_event++];
-      const auto fail_start = Clock::now();
+      const auto fail_start = WallClock::now();
 
       FailureRecord record;
       record.event = ev;
@@ -394,7 +398,7 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
     // Launch only while the install slot still falls inside this run.
     if (replan.wants_launch(t) &&
         t + config_.replan.install_delay < n_slots) {
-      const auto launch_start = Clock::now();
+      const auto launch_start = WallClock::now();
       // Capacity-aware re-planning prices against the capacity view as of
       // this launch slot (slot-t failure events already applied above).
       std::vector<double> capacity_snapshot;
@@ -405,7 +409,7 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
     }
 
     // 1. Departures at slot t.
-    const auto dep_start = Clock::now();
+    const auto dep_start = WallClock::now();
     for (const workload::Request* r : departures[t]) {
       if (!info[r->id].accepted) continue;  // preempted meanwhile
       algo.depart(*r);
@@ -422,7 +426,7 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
     while (slot_end < trace.size() && trace[slot_end].arrival - base == t)
       ++slot_end;
     if (slot_end > next) {
-      const auto hint_start = Clock::now();
+      const auto hint_start = WallClock::now();
       algo.hint_arrivals(&trace[next], slot_end - next);
       metrics.algo_seconds += seconds_since(hint_start);
     }
@@ -430,7 +434,7 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
       const workload::Request& r = trace[next++];
       tally.offered(r, t);
 
-      const auto start = Clock::now();
+      const auto start = WallClock::now();
       core::EmbedOutcome outcome = algo.embed(r);
       metrics.algo_seconds += seconds_since(start);
 
@@ -557,7 +561,7 @@ SimMetrics Engine::run_stream(core::OnlineEmbedder& algo,
     for (Observer* o : observers_) o->on_slot_begin(t);
 
     // 1. Departures at slot t (an id no longer in `active` was preempted).
-    const auto dep_start = Clock::now();
+    const auto dep_start = WallClock::now();
     for (const workload::RequestId id : departures[t]) {
       const auto it = active.find(id);
       if (it == active.end()) continue;
@@ -572,7 +576,7 @@ SimMetrics Engine::run_stream(core::OnlineEmbedder& algo,
     // one of its requests has gone through embed().
     if (cur >= 0 && cur - base == t) {
       if (!slot_buf.empty()) {
-        const auto hint_start = Clock::now();
+        const auto hint_start = WallClock::now();
         algo.hint_arrivals(slot_buf.data(), slot_buf.size());
         metrics.algo_seconds += seconds_since(hint_start);
       }
@@ -581,7 +585,7 @@ SimMetrics Engine::run_stream(core::OnlineEmbedder& algo,
         offered_diff[std::min(r.departure() - base, n_slots)] -= r.demand;
         tally.offered(r, t);
 
-        const auto start = Clock::now();
+        const auto start = WallClock::now();
         const core::EmbedOutcome outcome = algo.embed(r);
         metrics.algo_seconds += seconds_since(start);
         for (Observer* o : observers_) o->on_outcome(r, outcome, t);
@@ -759,7 +763,7 @@ SimMetrics Engine::run_slotoff(const workload::Trace& trace,
     }
     if (n_active == 0) continue;
 
-    const auto start = Clock::now();
+    const auto start = WallClock::now();
 
     // Aggregate the slot's actual demand per class and solve OFF-VNE.
     // Classes are ordered by their oldest alive member (trace position),

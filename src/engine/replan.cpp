@@ -78,6 +78,7 @@ void ReplanPolicy::launch(const workload::Trace& trace, int base, int slot,
   // time.
   auto task = [this, clipped = std::move(clipped), acfg, rng, event,
                capacities]() mutable -> Result {
+    // Wall clock feeds solve_seconds, a diagnostic only — never a decision.
     const auto start = std::chrono::steady_clock::now();
     const auto aggregates = core::aggregate_history(
         clipped, static_cast<int>(apps_.size()), substrate_.num_nodes(), acfg,

@@ -1,0 +1,101 @@
+// Admission-latency observability for the serving layer (docs/serving.md).
+//
+// LatencyHistogram is a fixed 64-bucket log2 histogram: recording is one
+// bit_width + one array increment, no allocation and no locking on the hot
+// path.  Bucket b covers (2^(b-1), 2^b] nanoseconds (bucket 0 is exactly
+// 0 ns), so percentile_us() reports the bucket's upper bound — a value the
+// true percentile never exceeds, conservative by at most 2x, which is the
+// right bias for a latency SLO gate.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace olive::serve {
+
+/// Fixed-bucket log-scale histogram of nanosecond latencies.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  /// Records one latency sample.  O(1), allocation-free.
+  void record(std::uint64_t nanos) {
+    const int b =
+        nanos == 0
+            ? 0
+            : std::min(static_cast<int>(std::bit_width(nanos)), kBuckets - 1);
+    ++counts_[static_cast<std::size_t>(b)];
+    ++total_;
+  }
+
+  /// Upper-bound estimate of the p-quantile in microseconds (p in (0, 1]).
+  /// Returns 0 when empty.
+  double percentile_us(double p) const {
+    if (total_ == 0) return 0.0;
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(total_)));
+    target = std::clamp<std::uint64_t>(target, 1, total_);
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      cumulative += counts_[static_cast<std::size_t>(b)];
+      if (cumulative >= target) return bucket_upper_us(b);
+    }
+    return bucket_upper_us(kBuckets - 1);
+  }
+
+  std::uint64_t count() const { return total_; }
+
+  std::uint64_t bucket_count(int b) const {
+    return counts_[static_cast<std::size_t>(b)];
+  }
+
+  /// Upper bound of bucket b, in microseconds (bucket 0 -> 0).
+  static double bucket_upper_us(int b) {
+    if (b <= 0) return 0.0;
+    return static_cast<double>(std::uint64_t{1} << b) / 1000.0;
+  }
+
+  void reset() {
+    counts_.fill(0);
+    total_ = 0;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+/// Counters and latency digests a Server exposes after (or during) a run.
+/// Written only by the serving thread; read after stop() (or from the
+/// serving thread itself), so plain fields suffice.
+struct ServerStats {
+  // Admission outcomes (decided = accepted + rejected; preempted victims
+  // were previously accepted and are not re-counted in decided).
+  long submitted = 0;      ///< submit() calls that enqueued successfully
+  long queue_rejects = 0;  ///< submit() calls bounced by a full queue
+  long decided = 0;        ///< requests drained and decided by the embedder
+  long accepted = 0;
+  long rejected = 0;
+  long preempted = 0;
+  long departed = 0;       ///< leases expired (wall deadline / slot end)
+
+  long plan_swaps = 0;     ///< plans hot-swapped via install_plan
+  long slots = 0;          ///< slot boundaries the serving loop crossed
+  std::size_t queue_high_water = 0;  ///< max approx queue depth observed
+
+  double swap_stall_seconds = 0;  ///< serving-thread time inside plan swaps
+  double serve_seconds = 0;       ///< total serving-loop time (clock units)
+  double sustained_rps = 0;       ///< decided / serve_seconds
+
+  LatencyHistogram admission_latency;  ///< submit() -> decision, ns
+
+  double p50_us() const { return admission_latency.percentile_us(0.50); }
+  double p90_us() const { return admission_latency.percentile_us(0.90); }
+  double p99_us() const { return admission_latency.percentile_us(0.99); }
+  double p999_us() const { return admission_latency.percentile_us(0.999); }
+};
+
+}  // namespace olive::serve

@@ -1,0 +1,108 @@
+// Bounded lock-free MPSC admission queue (docs/serving.md).
+//
+// Producers (request frontends) hand Requests to the single serving thread
+// through this ring.  Dmitry Vyukov's bounded MPMC algorithm — one atomic
+// sequence number per cell — restricted to a single consumer, so pop needs
+// no CAS: the serving thread owns head_ and only producers contend on
+// tail_.  Backpressure is explicit: try_push on a full ring returns false
+// immediately (the server counts it as a queue_reject); nothing ever blocks
+// a producer, which is what keeps the open-loop load generator honest
+// (no coordinated omission).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace olive::serve {
+
+/// Fixed-capacity lock-free queue: any number of producers, ONE consumer.
+/// Capacity is rounded up to a power of two.  T must be movable.
+template <class T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(std::size_t capacity) {
+    OLIVE_REQUIRE(capacity >= 2, "MpscQueue capacity must be >= 2");
+    std::size_t cap = 2;
+    while (cap < capacity) cap *= 2;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+    head_.store(0, std::memory_order_relaxed);
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Enqueues `v` unless the ring is full.  Wait-free in the common case;
+  /// returns false (without blocking or spinning on the consumer) when full.
+  /// Safe to call from any number of threads concurrently.
+  bool try_push(T v) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      auto dif = static_cast<std::intptr_t>(seq) -
+                 static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(v);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded pos; retry with the new tail.
+      } else if (dif < 0) {
+        return false;  // the cell still holds an unconsumed value: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Dequeues into `out`.  MUST only be called from the single consumer
+  /// thread.  Returns false when the queue is (momentarily) empty.
+  bool try_pop(T& out) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    auto dif = static_cast<std::intptr_t>(seq) -
+               static_cast<std::intptr_t>(pos + 1);
+    if (dif < 0) return false;  // producer hasn't published this cell yet
+    out = std::move(cell.value);
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Racy size estimate for backpressure telemetry (high-water marks); may
+  /// be transiently off by in-flight pushes, never negative.
+  std::size_t approx_size() const {
+    std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    T value;
+  };
+
+  // head_ (consumer) and tail_ (producers) on separate cache lines so the
+  // single consumer never false-shares with producer CAS traffic.
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::size_t> head_{0};
+};
+
+}  // namespace olive::serve

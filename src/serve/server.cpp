@@ -1,0 +1,532 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace olive::serve {
+
+namespace {
+
+using core::SimMetrics;
+using core::SimulatorConfig;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+// The window tally / psi / metric-folding helpers below intentionally
+// replicate engine.cpp's private ones line for line: the serving layer must
+// reproduce Engine::run_stream bit for bit, and the equivalence test
+// (tests/serve_test.cpp) pins the two copies together — a divergence fails
+// CI before it can drift.
+
+struct WindowTally {
+  const SimulatorConfig* config;
+  const std::vector<double>* psi;
+  SimMetrics* metrics;
+
+  bool in_window(int slot) const {
+    return slot >= config->measure_from && slot < config->measure_to;
+  }
+
+  void offered(const workload::Request& r, int slot) {
+    if (!in_window(slot)) return;
+    ++metrics->offered;
+    metrics->offered_demand += r.demand;
+    metrics->requests_by_node[r.ingress] += 1;
+  }
+
+  void rejected(const workload::Request& r, int arrival_slot) {
+    if (!in_window(arrival_slot)) return;
+    ++metrics->rejected;
+    metrics->rejected_demand += r.demand;
+    metrics->rejection_cost += (*psi)[r.app] * r.demand * r.duration;
+    metrics->rejected_by_node_app[r.ingress][r.app] += 1;
+  }
+
+  void preempted(const workload::Request& r, int arrival_slot) {
+    if (!in_window(arrival_slot)) return;
+    ++metrics->preempted;
+    metrics->rejected_demand += r.demand;
+    metrics->rejection_cost += (*psi)[r.app] * r.demand * r.duration;
+    metrics->rejected_by_node_app[r.ingress][r.app] += 1;
+  }
+};
+
+std::vector<double> resolve_psi(const net::SubstrateNetwork& s,
+                                const std::vector<net::Application>& apps,
+                                const SimulatorConfig& config) {
+  if (!config.psi_per_app.empty()) {
+    OLIVE_REQUIRE(config.psi_per_app.size() == apps.size(),
+                  "psi_per_app size mismatch");
+    return config.psi_per_app;
+  }
+  std::vector<double> psi(apps.size());
+  for (std::size_t a = 0; a < apps.size(); ++a)
+    psi[a] = core::default_psi(s, apps[a].topology);
+  return psi;
+}
+
+void fold_fastpath(SimMetrics& metrics, const core::OnlineEmbedder& algo) {
+  const core::FastPathStats fp = algo.fastpath_stats();
+  metrics.fastpath_greedy_hits = fp.greedy_memo_hits;
+  metrics.fastpath_greedy_misses = fp.greedy_memo_misses;
+  metrics.fastpath_greedy_invalidations = fp.greedy_memo_invalidations;
+  metrics.fastpath_column_skips = fp.column_skips;
+  metrics.fastpath_spec_commits = fp.spec_commits;
+  metrics.fastpath_spec_misses = fp.spec_misses;
+  metrics.fastpath_spec_serial = fp.spec_serial;
+}
+
+void accumulate_solve(SimMetrics& metrics, const core::PlanSolveInfo& info) {
+  metrics.plan_solves += 1;
+  metrics.plan_simplex_iterations += info.simplex_iterations;
+  metrics.plan_rounds += info.rounds;
+  metrics.plan_columns_generated += info.columns_generated;
+  metrics.plan_objective_sum += info.objective;
+  metrics.plan_warm_start_hits += info.warm_start_hit ? 1 : 0;
+  metrics.plan_refactorizations += info.refactorizations;
+  metrics.plan_eta_length_max =
+      std::max(metrics.plan_eta_length_max, info.eta_length_max);
+}
+
+SimMetrics blank_metrics(const net::SubstrateNetwork& substrate,
+                         const std::vector<net::Application>& apps,
+                         const std::string& name) {
+  SimMetrics metrics;
+  metrics.algorithm = name;
+  metrics.rejected_by_node_app.assign(
+      substrate.num_nodes(), std::vector<double>(apps.size(), 0.0));
+  metrics.requests_by_node.assign(substrate.num_nodes(), 0.0);
+  return metrics;
+}
+
+/// The slot body both clocks share: departures, batch admission with the
+/// hint_arrivals contract, preemption bookkeeping, window accrual, series
+/// finalization — a faithful replica of Engine::run_stream's loop body.
+///
+/// Bounded mode (n_slots >= 0, run_simulated) uses run_stream's exact
+/// fixed-size difference arrays and index clamps so the runs are
+/// bit-identical.  Unbounded mode (n_slots < 0, live serving) grows the
+/// same structures lazily and never clamps — a live run has no horizon
+/// until stop().
+class RunCore {
+ public:
+  RunCore(const SimulatorConfig& sim, std::vector<double> psi,
+          SimMetrics metrics, int n_slots)
+      : sim_(sim),
+        psi_(std::move(psi)),
+        metrics_(std::move(metrics)),
+        n_slots_(n_slots),
+        tally_{&sim_, &psi_, &metrics_} {
+    if (bounded()) {
+      offered_diff_.assign(static_cast<std::size_t>(n_slots_) + 1, 0.0);
+      alloc_diff_.assign(static_cast<std::size_t>(n_slots_) + 1, 0.0);
+      departures_.resize(static_cast<std::size_t>(n_slots_) + 1);
+    }
+  }
+
+  bool bounded() const { return n_slots_ >= 0; }
+  SimMetrics& metrics() { return metrics_; }
+
+  long decided() const { return decided_; }
+  long accepted() const { return accepted_; }
+  long rejected() const { return rejected_; }
+  long preempted() const { return preempted_; }
+  long departed() const { return departed_; }
+
+  /// Releases the leases expiring at slot t (ids preempted meanwhile are
+  /// simply no longer in `active_`).
+  void depart(core::OnlineEmbedder& algo, int t) {
+    const auto slot = static_cast<std::size_t>(t);
+    if (slot >= departures_.size()) return;
+    for (const workload::RequestId id : departures_[slot]) {
+      const auto it = active_.find(id);
+      if (it == active_.end()) continue;
+      algo.depart(it->second.req);
+      active_cost_ -= it->second.req.demand * it->second.unit_cost;
+      active_.erase(it);
+      ++departed_;
+    }
+    departures_[slot].clear();
+  }
+
+  /// Admits one slot batch in order: announce via hint_arrivals (the PR-8
+  /// speculation contract — the buffer stays untouched until every request
+  /// has gone through embed()), then decide each request.  `hist`, if
+  /// given, receives one sample per decision; with `enq`/`clock` the sample
+  /// is submit()-to-decision wall latency, otherwise 0 (simulated mode —
+  /// no clock reads on this path).
+  void admit(core::OnlineEmbedder& algo, int t, int base,
+             const workload::Request* batch, std::size_t n,
+             LatencyHistogram* hist, const Clock::time_point* enq,
+             Clock* clock) {
+    if (n == 0) return;
+    algo.hint_arrivals(batch, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const workload::Request& r = batch[i];
+      at(offered_diff_, t) += r.demand;
+      at(offered_diff_, clamp(r.departure() - base)) -= r.demand;
+      tally_.offered(r, t);
+
+      const core::EmbedOutcome outcome = algo.embed(r);
+      ++decided_;
+      if (hist) {
+        std::uint64_t ns = 0;
+        if (enq && clock) {
+          const auto d = clock->now() - enq[i];
+          ns = d.count() > 0 ? static_cast<std::uint64_t>(
+                                   std::chrono::duration_cast<
+                                       std::chrono::nanoseconds>(d)
+                                       .count())
+                             : 0;
+        }
+        hist->record(ns);
+      }
+
+      if (!outcome.accepted()) {
+        tally_.rejected(r, t);
+        ++rejected_;
+        continue;
+      }
+      ++accepted_;
+      active_.emplace(r.id, ActiveInfo{r, outcome.unit_cost});
+      active_cost_ += r.demand * outcome.unit_cost;
+      at(alloc_diff_, t) += r.demand;
+      at(alloc_diff_, clamp(t + r.duration)) -= r.demand;
+      if (!bounded() || t + r.duration <= n_slots_) {
+        const auto dep = static_cast<std::size_t>(t + r.duration);
+        if (dep >= departures_.size()) departures_.resize(dep + 1);
+        departures_[dep].push_back(r.id);
+      }
+
+      for (const workload::RequestId victim_id : outcome.preempted_ids) {
+        const auto vit = active_.find(victim_id);
+        OLIVE_ASSERT(vit != active_.end());
+        const workload::Request vr = vit->second.req;
+        active_cost_ -= vr.demand * vit->second.unit_cost;
+        active_.erase(vit);
+        const int varr = vr.arrival - base;
+        const int vdep = clamp(varr + vr.duration);
+        at(alloc_diff_, t) -= vr.demand;  // stops consuming now...
+        at(alloc_diff_, vdep) += vr.demand;  // ...not at its departure
+        tally_.preempted(vr, varr);
+        ++preempted_;
+      }
+    }
+  }
+
+  /// Accrues slot t's resource cost if it falls inside the window.
+  void accrue(int t) {
+    if (t >= sim_.measure_from && t < sim_.measure_to)
+      metrics_.resource_cost += active_cost_;
+  }
+
+  /// Window-accepted count, prefix-sum series over [0, n_final), fast-path
+  /// fold — run_stream's exact epilogue.
+  SimMetrics finalize(const core::OnlineEmbedder& algo, int n_final) {
+    metrics_.accepted =
+        metrics_.offered - metrics_.rejected - metrics_.preempted;
+    metrics_.offered_series.resize(static_cast<std::size_t>(n_final));
+    metrics_.allocated_series.resize(static_cast<std::size_t>(n_final));
+    double off_acc = 0, alloc_acc = 0;
+    for (int t = 0; t < n_final; ++t) {
+      const auto i = static_cast<std::size_t>(t);
+      off_acc += i < offered_diff_.size() ? offered_diff_[i] : 0.0;
+      metrics_.offered_series[i] = off_acc;
+      alloc_acc += i < alloc_diff_.size() ? alloc_diff_[i] : 0.0;
+      metrics_.allocated_series[i] = alloc_acc;
+    }
+    fold_fastpath(metrics_, algo);
+    return std::move(metrics_);
+  }
+
+ private:
+  struct ActiveInfo {
+    workload::Request req;
+    double unit_cost = 0;
+  };
+
+  int clamp(int slot) const {
+    return bounded() ? std::min(slot, n_slots_) : slot;
+  }
+
+  static double& at(std::vector<double>& v, int i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (idx >= v.size()) v.resize(idx + 1, 0.0);
+    return v[idx];
+  }
+
+  const SimulatorConfig& sim_;
+  std::vector<double> psi_;
+  SimMetrics metrics_;
+  int n_slots_;  // -1: unbounded (live mode)
+  WindowTally tally_;
+
+  std::vector<double> offered_diff_, alloc_diff_;
+  std::vector<std::vector<workload::RequestId>> departures_;
+  std::unordered_map<workload::RequestId, ActiveInfo> active_;
+  double active_cost_ = 0;  // Σ over active accepted of d·unit_cost
+
+  long decided_ = 0, accepted_ = 0, rejected_ = 0, preempted_ = 0,
+       departed_ = 0;
+};
+
+}  // namespace
+
+Server::Server(const net::SubstrateNetwork& substrate,
+               const std::vector<net::Application>& apps, ServerConfig config)
+    : substrate_(substrate), apps_(apps), config_(std::move(config)) {
+  OLIVE_REQUIRE(config_.slot_duration.count() > 0,
+                "slot_duration must be positive");
+  OLIVE_REQUIRE(config_.max_batch > 0, "max_batch must be positive");
+  queue_ = std::make_unique<MpscQueue<Queued>>(config_.queue_capacity);
+}
+
+Server::~Server() {
+  if (running()) stop(/*drain=*/false);
+}
+
+SimMetrics Server::run_simulated(core::OnlineEmbedder& algo,
+                                 workload::TraceStream& stream) {
+  const SimulatorConfig& sim = config_.sim;
+  OLIVE_REQUIRE(config_.replan.period == 0,
+                "run_simulated does not support mid-run re-planning (same "
+                "restriction as Engine::run_stream)");
+  OLIVE_REQUIRE(!sim.record_requests,
+                "run_simulated does not keep per-request records");
+  OLIVE_REQUIRE(!running(), "run_simulated while live serving is running");
+
+  // Zero wall entropy on this whole path: the only clock is simulated,
+  // starts at the epoch, and advances exactly one slot_duration per slot.
+  SimulatedClock clock;
+  stats_ = ServerStats{};
+
+  SimMetrics metrics = blank_metrics(substrate_, apps_, algo.name());
+
+  // Pull until the first arrival; its slot re-bases the clock exactly like
+  // run_stream re-bases on the first non-empty slot.
+  std::vector<workload::Request> slot_buf;
+  int cur = stream.next_slot(slot_buf);
+  while (cur >= 0 && slot_buf.empty()) cur = stream.next_slot(slot_buf);
+  if (cur < 0) {  // stream carries no requests at all
+    metrics_ = metrics;
+    return metrics_;
+  }
+  const int base = cur;
+
+  int n_slots = std::max(stream.end_slot() - base, sim.measure_to);
+  if (sim.drain_slots >= 0)
+    n_slots = std::min(n_slots, sim.measure_to + sim.drain_slots);
+
+  RunCore core(sim, resolve_psi(substrate_, apps_, sim), std::move(metrics),
+               n_slots);
+
+  algo.reset();
+  const auto t0 = clock.now();
+  for (int t = 0; t < n_slots; ++t) {
+    core.depart(algo, t);
+    if (cur >= 0 && cur - base == t) {
+      core.admit(algo, t, base, slot_buf.data(), slot_buf.size(),
+                 &stats_.admission_latency, nullptr, nullptr);
+      cur = stream.next_slot(slot_buf);
+    }
+    core.accrue(t);
+    clock.advance(config_.slot_duration);  // the slot boundary, simulated
+  }
+
+  stats_.decided = core.decided();
+  stats_.accepted = core.accepted();
+  stats_.rejected = core.rejected();
+  stats_.preempted = core.preempted();
+  stats_.departed = core.departed();
+  stats_.submitted = core.decided();  // every request "arrived" in-process
+  stats_.slots = n_slots;
+  stats_.serve_seconds = seconds_between(t0, clock.now());
+  stats_.sustained_rps = stats_.serve_seconds > 0
+                             ? static_cast<double>(stats_.decided) /
+                                   stats_.serve_seconds
+                             : 0.0;
+
+  metrics_ = core.finalize(algo, n_slots);
+  return metrics_;
+}
+
+void Server::start(core::OnlineEmbedder& algo, Clock& clock) {
+  OLIVE_REQUIRE(!running(), "server already running");
+  // Validate the re-plan config here, on the caller's thread — an invalid
+  // one would otherwise throw from the ReplanPolicy constructor inside the
+  // serving thread and terminate the process.
+  if (config_.replan.period > 0) {
+    OLIVE_REQUIRE(config_.replan.install_delay >= 1 &&
+                      config_.replan.install_delay < config_.replan.period,
+                  "replan install_delay must stay in [1, period)");
+    OLIVE_REQUIRE(config_.replan.window >= 0, "replan window must be >= 0");
+  }
+  stop_requested_.store(false, std::memory_order_release);
+  drain_on_stop_.store(true, std::memory_order_release);
+  submitted_.store(0, std::memory_order_relaxed);
+  queue_rejects_.store(0, std::memory_order_relaxed);
+  stats_ = ServerStats{};
+  clock_ = &clock;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this, &algo, &clock] { serve_loop(algo, clock); });
+}
+
+Server::Submit Server::submit(const workload::Request& r) {
+  if (!running() || stop_requested_.load(std::memory_order_acquire))
+    return Submit::Stopped;
+  Queued q{r, clock_->now()};
+  if (!queue_->try_push(std::move(q))) {
+    queue_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return Submit::QueueFull;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return Submit::Enqueued;
+}
+
+void Server::stop(bool drain) {
+  if (!thread_.joinable()) return;
+  drain_on_stop_.store(drain, std::memory_order_release);
+  stop_requested_.store(true, std::memory_order_release);
+  thread_.join();
+  running_.store(false, std::memory_order_release);
+  clock_ = nullptr;
+}
+
+void Server::serve_loop(core::OnlineEmbedder& algo, Clock& clock) {
+  const SimulatorConfig& sim = config_.sim;
+  ServerStats st;
+  RunCore core(sim, resolve_psi(substrate_, apps_, sim),
+               blank_metrics(substrate_, apps_, algo.name()),
+               /*n_slots=*/-1);
+
+  engine::ReplanPolicy replan(substrate_, apps_, config_.replan);
+  const int replan_window = config_.replan.window > 0 ? config_.replan.window
+                                                      : config_.replan.period;
+  workload::Trace window;  // drained arrivals, the re-plan demand feed
+
+  std::vector<workload::Request> batch;
+  std::vector<Clock::time_point> enq;
+  batch.reserve(config_.max_batch);
+  enq.reserve(config_.max_batch);
+  workload::RequestId next_id = 0;
+
+  algo.reset();
+  const auto t0 = clock.now();
+  int t = 0;
+  bool stopping = false;
+  while (!stopping) {
+    // Plan hot-swap at the policy-fixed install slot, before this slot's
+    // releases and arrivals — slot t is the first slot served by the new
+    // plan, the same boundary position as the batch engine.  The wait (if
+    // the async solve is still flying) is the swap stall the histogram
+    // cannot see: admissions simply pause, so it is reported separately.
+    if (replan.pending_install_slot() == t) {
+      const auto stall_start = clock.now();
+      engine::ReplanPolicy::Result res = replan.collect();
+      const bool installed = algo.install_plan(std::move(res.plan));
+      st.swap_stall_seconds += seconds_between(stall_start, clock.now());
+      if (installed) {
+        st.plan_swaps += 1;
+        core.metrics().replans += 1;
+        core.metrics().replan_seconds += res.event.solve_seconds;
+        accumulate_solve(core.metrics(), res.event.info);
+      } else {
+        replan.disable();  // the embedder has no plan to swap
+      }
+    }
+
+    core.depart(algo, t);
+
+    if (replan.wants_launch(t)) {
+      // Prune the demand feed to the trailing window before handing it to
+      // the policy (launch copies what it needs; the feed keeps growing
+      // while the solve flies).
+      const int keep_from = t - replan_window;
+      std::erase_if(window, [keep_from](const workload::Request& r) {
+        return r.arrival < keep_from;
+      });
+      replan.launch(window, /*base=*/0, t);
+    }
+
+    // Drain until this slot's wall deadline.  If the serving thread falls
+    // behind (overload), deadlines in the past make the slot advance
+    // immediately — slots never stretch, they are wall time.
+    const auto deadline = t0 + (t + 1) * config_.slot_duration;
+    for (;;) {
+      if (clock.now() >= deadline) break;
+      st.queue_high_water =
+          std::max(st.queue_high_water, queue_->approx_size());
+      batch.clear();
+      enq.clear();
+      Queued q;
+      while (batch.size() < config_.max_batch && queue_->try_pop(q)) {
+        q.req.id = next_id++;
+        q.req.arrival = t;
+        batch.push_back(q.req);
+        enq.push_back(q.enqueued);
+      }
+      if (batch.empty()) {
+        if (stop_requested_.load(std::memory_order_acquire)) {
+          stopping = true;
+          break;
+        }
+        clock.sleep_until(std::min(deadline, clock.now() + config_.idle_backoff));
+        continue;
+      }
+      if (replan.enabled())
+        window.insert(window.end(), batch.begin(), batch.end());
+      core.admit(algo, t, /*base=*/0, batch.data(), batch.size(),
+                 &st.admission_latency, enq.data(), &clock);
+    }
+
+    if (!stopping && stop_requested_.load(std::memory_order_acquire) &&
+        queue_->approx_size() == 0)
+      stopping = true;
+
+    if (stopping && drain_on_stop_.load(std::memory_order_acquire)) {
+      // Graceful drain: decide everything still enqueued at this slot.
+      // submit() already bounces with Stopped, so the queue only shrinks.
+      for (;;) {
+        batch.clear();
+        enq.clear();
+        Queued q;
+        while (batch.size() < config_.max_batch && queue_->try_pop(q)) {
+          q.req.id = next_id++;
+          q.req.arrival = t;
+          batch.push_back(q.req);
+          enq.push_back(q.enqueued);
+        }
+        if (batch.empty()) break;
+        core.admit(algo, t, /*base=*/0, batch.data(), batch.size(),
+                   &st.admission_latency, enq.data(), &clock);
+      }
+    }
+
+    core.accrue(t);
+    ++t;
+  }
+
+  st.slots = t;
+  st.serve_seconds = seconds_between(t0, clock.now());
+  st.decided = core.decided();
+  st.accepted = core.accepted();
+  st.rejected = core.rejected();
+  st.preempted = core.preempted();
+  st.departed = core.departed();
+  st.submitted = submitted_.load(std::memory_order_relaxed);
+  st.queue_rejects = queue_rejects_.load(std::memory_order_relaxed);
+  st.sustained_rps =
+      st.serve_seconds > 0
+          ? static_cast<double>(st.decided) / st.serve_seconds
+          : 0.0;
+
+  metrics_ = core.finalize(algo, t);
+  stats_ = st;
+}
+
+}  // namespace olive::serve

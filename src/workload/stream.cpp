@@ -207,4 +207,19 @@ Trace materialize(TraceStream& stream) {
   return trace;
 }
 
+std::vector<double> draw_open_loop_arrivals(double rate_per_sec,
+                                            double duration_s, Rng& rng) {
+  OLIVE_REQUIRE(rate_per_sec > 0, "arrival rate must be positive");
+  OLIVE_REQUIRE(duration_s > 0, "duration must be positive");
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(rate_per_sec * duration_s * 1.1));
+  const double mean_gap = 1.0 / rate_per_sec;
+  double t = sample_exponential(rng, mean_gap);
+  while (t < duration_s) {
+    arrivals.push_back(t);
+    t += sample_exponential(rng, mean_gap);
+  }
+  return arrivals;
+}
+
 }  // namespace olive::workload

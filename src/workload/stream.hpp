@@ -112,4 +112,14 @@ class VectorTraceStream final : public TraceStream {
 /// Drains a stream into a trace (the materialized path).
 Trace materialize(TraceStream& stream);
 
+/// Pre-draws a Poisson open-loop arrival schedule: timestamps (seconds from
+/// the load generator's start) of a rate `rate_per_sec` Poisson process over
+/// [0, duration_s), strictly increasing.  Drawing the whole schedule up
+/// front is what keeps an open-loop bench honest — each submission fires at
+/// its pre-drawn instant regardless of how the server is keeping up, so a
+/// slow server delays nothing and coordinated omission cannot hide latency
+/// (bench/serve_load.cpp, docs/serving.md).
+std::vector<double> draw_open_loop_arrivals(double rate_per_sec,
+                                            double duration_s, Rng& rng);
+
 }  // namespace olive::workload

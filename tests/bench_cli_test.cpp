@@ -27,7 +27,8 @@ ParseResult parse(const std::vector<std::string>& argv) {
 TEST(BenchCli, ParsesEveryKnownFlag) {
   const auto r = parse({"--scale", "full", "--reps", "7", "--topology",
                         "Iris", "--algo", "OLIVE", "--json", "/tmp/x.json",
-                        "--threads", "4"});
+                        "--threads", "4", "--duration-s", "2.5",
+                        "--target-rps", "20000"});
   ASSERT_TRUE(r.ok) << r.error;
   EXPECT_EQ(r.args.scale_choice, "full");
   EXPECT_EQ(r.args.reps, 7);
@@ -35,7 +36,34 @@ TEST(BenchCli, ParsesEveryKnownFlag) {
   EXPECT_EQ(r.args.algo, "OLIVE");
   EXPECT_EQ(r.args.json, "/tmp/x.json");
   EXPECT_EQ(r.args.threads, 4);
+  EXPECT_DOUBLE_EQ(r.args.duration_s, 2.5);
+  EXPECT_EQ(r.args.target_rps, 20000);
   EXPECT_FALSE(r.args.help);
+}
+
+TEST(BenchCli, OpenLoopFlagsDefaultToAbsent) {
+  const auto r = parse({});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.args.duration_s, 0);
+  EXPECT_EQ(r.args.target_rps, 0);
+}
+
+TEST(BenchCli, DurationAcceptsIntegerAndFractionalSeconds) {
+  EXPECT_DOUBLE_EQ(parse({"--duration-s", "3"}).args.duration_s, 3.0);
+  EXPECT_DOUBLE_EQ(parse({"--duration-s", "0.25"}).args.duration_s, 0.25);
+}
+
+TEST(BenchCli, RejectsMalformedOpenLoopValues) {
+  for (const std::string bad : {"abc", "0", "-1", "2x", ""}) {
+    const auto r = parse({"--duration-s", bad});
+    ASSERT_FALSE(r.ok) << bad;
+    EXPECT_NE(r.error.find("positive number"), std::string::npos) << bad;
+  }
+  for (const std::string bad : {"abc", "0", "-5", "1.5", ""}) {
+    const auto r = parse({"--target-rps", bad});
+    ASSERT_FALSE(r.ok) << bad;
+    EXPECT_NE(r.error.find("positive integer"), std::string::npos) << bad;
+  }
 }
 
 TEST(BenchCli, EmptyCommandLineIsFine) {
@@ -62,7 +90,8 @@ TEST(BenchCli, RejectsUnknownFlags) {
 
 TEST(BenchCli, RejectsMissingValues) {
   for (const std::string flag :
-       {"--scale", "--reps", "--topology", "--algo", "--json", "--threads"}) {
+       {"--scale", "--reps", "--topology", "--algo", "--json", "--threads",
+        "--duration-s", "--target-rps"}) {
     const auto r = parse({flag});
     ASSERT_FALSE(r.ok) << flag;
     EXPECT_NE(r.error.find("expects a value"), std::string::npos) << flag;
