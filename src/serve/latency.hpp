@@ -2,10 +2,11 @@
 //
 // LatencyHistogram is a fixed 64-bucket log2 histogram: recording is one
 // bit_width + one array increment, no allocation and no locking on the hot
-// path.  Bucket b covers (2^(b-1), 2^b] nanoseconds (bucket 0 is exactly
-// 0 ns), so percentile_us() reports the bucket's upper bound — a value the
-// true percentile never exceeds, conservative by at most 2x, which is the
-// right bias for a latency SLO gate.
+// path.  Bucket 0 holds exactly-0 ns samples; bucket b >= 1 holds samples
+// with bit_width(nanos) == b, i.e. the interval [2^(b-1), 2^b - 1]
+// nanoseconds.  percentile_us() reports 2^b, the bucket's exclusive upper
+// bound — a value the true percentile never exceeds, conservative by at
+// most 2x, which is the right bias for a latency SLO gate.
 #pragma once
 
 #include <algorithm>
@@ -52,7 +53,8 @@ class LatencyHistogram {
     return counts_[static_cast<std::size_t>(b)];
   }
 
-  /// Upper bound of bucket b, in microseconds (bucket 0 -> 0).
+  /// Exclusive upper bound of bucket b ([2^(b-1), 2^b - 1] ns), in
+  /// microseconds (bucket 0 -> 0).
   static double bucket_upper_us(int b) {
     if (b <= 0) return 0.0;
     return static_cast<double>(std::uint64_t{1} << b) / 1000.0;
@@ -81,6 +83,8 @@ struct ServerStats {
   long rejected = 0;
   long preempted = 0;
   long departed = 0;       ///< leases expired (wall deadline / slot end)
+  long abandoned = 0;      ///< discarded undecided by stop(drain=false);
+                           ///< decided + abandoned == submitted after stop
 
   long plan_swaps = 0;     ///< plans hot-swapped via install_plan
   long slots = 0;          ///< slot boundaries the serving loop crossed

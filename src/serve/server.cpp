@@ -1,6 +1,9 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
 #include <unordered_map>
 #include <utility>
 
@@ -28,18 +31,18 @@ struct WindowTally {
   const std::vector<double>* psi;
   SimMetrics* metrics;
 
-  bool in_window(int slot) const {
+  bool in_window(std::int64_t slot) const {
     return slot >= config->measure_from && slot < config->measure_to;
   }
 
-  void offered(const workload::Request& r, int slot) {
+  void offered(const workload::Request& r, std::int64_t slot) {
     if (!in_window(slot)) return;
     ++metrics->offered;
     metrics->offered_demand += r.demand;
     metrics->requests_by_node[r.ingress] += 1;
   }
 
-  void rejected(const workload::Request& r, int arrival_slot) {
+  void rejected(const workload::Request& r, std::int64_t arrival_slot) {
     if (!in_window(arrival_slot)) return;
     ++metrics->rejected;
     metrics->rejected_demand += r.demand;
@@ -47,7 +50,7 @@ struct WindowTally {
     metrics->rejected_by_node_app[r.ingress][r.app] += 1;
   }
 
-  void preempted(const workload::Request& r, int arrival_slot) {
+  void preempted(const workload::Request& r, std::int64_t arrival_slot) {
     if (!in_window(arrival_slot)) return;
     ++metrics->preempted;
     metrics->rejected_demand += r.demand;
@@ -110,17 +113,22 @@ SimMetrics blank_metrics(const net::SubstrateNetwork& substrate,
 ///
 /// Bounded mode (n_slots >= 0, run_simulated) uses run_stream's exact
 /// fixed-size difference arrays and index clamps so the runs are
-/// bit-identical.  Unbounded mode (n_slots < 0, live serving) grows the
-/// same structures lazily and never clamps — a live run has no horizon
-/// until stop().
+/// bit-identical.  Unbounded mode (n_slots < 0, live serving) has no
+/// horizon until stop(), so it must not grow per-slot state: future
+/// departures and demand deltas live in hash maps erased as their slot
+/// passes (memory is bounded by the active leases, not the uptime), the
+/// offered/allocated series is a trailing ring of `series_window` slots,
+/// and slots are 64-bit — a 10 ms slot counter in an int would overflow
+/// after ~8 months of uptime.
 class RunCore {
  public:
   RunCore(const SimulatorConfig& sim, std::vector<double> psi,
-          SimMetrics metrics, int n_slots)
+          SimMetrics metrics, int n_slots, std::size_t series_window = 0)
       : sim_(sim),
         psi_(std::move(psi)),
         metrics_(std::move(metrics)),
         n_slots_(n_slots),
+        series_window_(series_window),
         tally_{&sim_, &psi_, &metrics_} {
     if (bounded()) {
       offered_diff_.assign(static_cast<std::size_t>(n_slots_) + 1, 0.0);
@@ -138,20 +146,35 @@ class RunCore {
   long preempted() const { return preempted_; }
   long departed() const { return departed_; }
 
+  /// Live mode only: folds the demand deltas scheduled for slot t (lease
+  /// ends, preemption cancellations) into the running offered/allocated
+  /// sums and frees their entries.  Call at the top of each slot.
+  void begin_slot(std::int64_t t) {
+    if (bounded()) return;
+    if (const auto it = offered_delta_.find(t); it != offered_delta_.end()) {
+      offered_now_ += it->second;
+      offered_delta_.erase(it);
+    }
+    if (const auto it = alloc_delta_.find(t); it != alloc_delta_.end()) {
+      alloc_now_ += it->second;
+      alloc_delta_.erase(it);
+    }
+  }
+
   /// Releases the leases expiring at slot t (ids preempted meanwhile are
   /// simply no longer in `active_`).
-  void depart(core::OnlineEmbedder& algo, int t) {
-    const auto slot = static_cast<std::size_t>(t);
-    if (slot >= departures_.size()) return;
-    for (const workload::RequestId id : departures_[slot]) {
-      const auto it = active_.find(id);
-      if (it == active_.end()) continue;
-      algo.depart(it->second.req);
-      active_cost_ -= it->second.req.demand * it->second.unit_cost;
-      active_.erase(it);
-      ++departed_;
+  void depart(core::OnlineEmbedder& algo, std::int64_t t) {
+    if (bounded()) {
+      const auto slot = static_cast<std::size_t>(t);
+      if (slot >= departures_.size()) return;
+      release(algo, departures_[slot]);
+      departures_[slot].clear();
+    } else {
+      const auto it = departures_live_.find(t);
+      if (it == departures_live_.end()) return;
+      release(algo, it->second);
+      departures_live_.erase(it);
     }
-    departures_[slot].clear();
   }
 
   /// Admits one slot batch in order: announce via hint_arrivals (the PR-8
@@ -160,7 +183,7 @@ class RunCore {
   /// given, receives one sample per decision; with `enq`/`clock` the sample
   /// is submit()-to-decision wall latency, otherwise 0 (simulated mode —
   /// no clock reads on this path).
-  void admit(core::OnlineEmbedder& algo, int t, int base,
+  void admit(core::OnlineEmbedder& algo, std::int64_t t, int base,
              const workload::Request* batch, std::size_t n,
              LatencyHistogram* hist, const Clock::time_point* enq,
              Clock* clock) {
@@ -168,8 +191,13 @@ class RunCore {
     algo.hint_arrivals(batch, n);
     for (std::size_t i = 0; i < n; ++i) {
       const workload::Request& r = batch[i];
-      at(offered_diff_, t) += r.demand;
-      at(offered_diff_, clamp(r.departure() - base)) -= r.demand;
+      if (bounded()) {
+        at(offered_diff_, static_cast<int>(t)) += r.demand;
+        at(offered_diff_, clamp(r.departure() - base)) -= r.demand;
+      } else {
+        offered_now_ += r.demand;
+        offered_delta_[t + r.duration] -= r.demand;
+      }
       tally_.offered(r, t);
 
       const core::EmbedOutcome outcome = algo.embed(r);
@@ -193,52 +221,81 @@ class RunCore {
         continue;
       }
       ++accepted_;
-      active_.emplace(r.id, ActiveInfo{r, outcome.unit_cost});
+      active_.emplace(r.id, ActiveInfo{r, outcome.unit_cost, t});
       active_cost_ += r.demand * outcome.unit_cost;
-      at(alloc_diff_, t) += r.demand;
-      at(alloc_diff_, clamp(t + r.duration)) -= r.demand;
-      if (!bounded() || t + r.duration <= n_slots_) {
-        const auto dep = static_cast<std::size_t>(t + r.duration);
-        if (dep >= departures_.size()) departures_.resize(dep + 1);
-        departures_[dep].push_back(r.id);
+      if (bounded()) {
+        at(alloc_diff_, static_cast<int>(t)) += r.demand;
+        at(alloc_diff_, clamp(t + r.duration)) -= r.demand;
+        if (t + r.duration <= n_slots_)
+          departures_[static_cast<std::size_t>(t + r.duration)].push_back(
+              r.id);
+      } else {
+        alloc_now_ += r.demand;
+        alloc_delta_[t + r.duration] -= r.demand;
+        departures_live_[t + r.duration].push_back(r.id);
       }
 
       for (const workload::RequestId victim_id : outcome.preempted_ids) {
         const auto vit = active_.find(victim_id);
         OLIVE_ASSERT(vit != active_.end());
         const workload::Request vr = vit->second.req;
+        // The victim's admit slot (== vr.arrival - base in bounded mode;
+        // in live mode vr.arrival saturates at INT_MAX, this never does).
+        const std::int64_t varr = vit->second.arrival_slot;
         active_cost_ -= vr.demand * vit->second.unit_cost;
         active_.erase(vit);
-        const int varr = vr.arrival - base;
-        const int vdep = clamp(varr + vr.duration);
-        at(alloc_diff_, t) -= vr.demand;  // stops consuming now...
-        at(alloc_diff_, vdep) += vr.demand;  // ...not at its departure
+        if (bounded()) {
+          at(alloc_diff_, static_cast<int>(t)) -=
+              vr.demand;  // stops consuming now...
+          at(alloc_diff_, clamp(varr + vr.duration)) +=
+              vr.demand;  // ...not at its departure
+        } else {
+          alloc_now_ -= vr.demand;
+          alloc_delta_[varr + vr.duration] += vr.demand;
+        }
         tally_.preempted(vr, varr);
         ++preempted_;
       }
     }
   }
 
-  /// Accrues slot t's resource cost if it falls inside the window.
-  void accrue(int t) {
+  /// Accrues slot t's resource cost if it falls inside the window; in live
+  /// mode also snapshots the slot into the trailing series ring.
+  void accrue(std::int64_t t) {
     if (t >= sim_.measure_from && t < sim_.measure_to)
       metrics_.resource_cost += active_cost_;
+    if (!bounded() && series_window_ > 0) {
+      offered_ring_.push_back(offered_now_);
+      alloc_ring_.push_back(alloc_now_);
+      if (offered_ring_.size() > series_window_) {
+        offered_ring_.pop_front();
+        alloc_ring_.pop_front();
+      }
+    }
   }
 
-  /// Window-accepted count, prefix-sum series over [0, n_final), fast-path
-  /// fold — run_stream's exact epilogue.
-  SimMetrics finalize(const core::OnlineEmbedder& algo, int n_final) {
+  /// Window-accepted count, series, fast-path fold.  Bounded mode emits
+  /// run_stream's exact prefix-sum series over [0, n_final); live mode
+  /// emits the trailing ring (the last min(slots, series_window) slots).
+  SimMetrics finalize(const core::OnlineEmbedder& algo, std::int64_t n_final) {
     metrics_.accepted =
         metrics_.offered - metrics_.rejected - metrics_.preempted;
-    metrics_.offered_series.resize(static_cast<std::size_t>(n_final));
-    metrics_.allocated_series.resize(static_cast<std::size_t>(n_final));
-    double off_acc = 0, alloc_acc = 0;
-    for (int t = 0; t < n_final; ++t) {
-      const auto i = static_cast<std::size_t>(t);
-      off_acc += i < offered_diff_.size() ? offered_diff_[i] : 0.0;
-      metrics_.offered_series[i] = off_acc;
-      alloc_acc += i < alloc_diff_.size() ? alloc_diff_[i] : 0.0;
-      metrics_.allocated_series[i] = alloc_acc;
+    if (bounded()) {
+      metrics_.offered_series.resize(static_cast<std::size_t>(n_final));
+      metrics_.allocated_series.resize(static_cast<std::size_t>(n_final));
+      double off_acc = 0, alloc_acc = 0;
+      for (std::int64_t t = 0; t < n_final; ++t) {
+        const auto i = static_cast<std::size_t>(t);
+        off_acc += i < offered_diff_.size() ? offered_diff_[i] : 0.0;
+        metrics_.offered_series[i] = off_acc;
+        alloc_acc += i < alloc_diff_.size() ? alloc_diff_[i] : 0.0;
+        metrics_.allocated_series[i] = alloc_acc;
+      }
+    } else {
+      metrics_.offered_series.assign(offered_ring_.begin(),
+                                     offered_ring_.end());
+      metrics_.allocated_series.assign(alloc_ring_.begin(),
+                                       alloc_ring_.end());
     }
     fold_fastpath(metrics_, algo);
     return std::move(metrics_);
@@ -248,10 +305,23 @@ class RunCore {
   struct ActiveInfo {
     workload::Request req;
     double unit_cost = 0;
+    std::int64_t arrival_slot = 0;
   };
 
-  int clamp(int slot) const {
-    return bounded() ? std::min(slot, n_slots_) : slot;
+  void release(core::OnlineEmbedder& algo,
+               const std::vector<workload::RequestId>& ids) {
+    for (const workload::RequestId id : ids) {
+      const auto it = active_.find(id);
+      if (it == active_.end()) continue;
+      algo.depart(it->second.req);
+      active_cost_ -= it->second.req.demand * it->second.unit_cost;
+      active_.erase(it);
+      ++departed_;
+    }
+  }
+
+  int clamp(std::int64_t slot) const {
+    return static_cast<int>(std::min<std::int64_t>(slot, n_slots_));
   }
 
   static double& at(std::vector<double>& v, int i) {
@@ -264,10 +334,22 @@ class RunCore {
   std::vector<double> psi_;
   SimMetrics metrics_;
   int n_slots_;  // -1: unbounded (live mode)
+  std::size_t series_window_;
   WindowTally tally_;
 
+  // Bounded mode: run_stream's exact difference arrays / departure lists.
   std::vector<double> offered_diff_, alloc_diff_;
   std::vector<std::vector<workload::RequestId>> departures_;
+
+  // Live mode: running sums + future deltas keyed by absolute slot
+  // (erased as slots pass) and a trailing series ring — O(active leases)
+  // + O(series_window) memory regardless of uptime.
+  double offered_now_ = 0, alloc_now_ = 0;
+  std::unordered_map<std::int64_t, double> offered_delta_, alloc_delta_;
+  std::unordered_map<std::int64_t, std::vector<workload::RequestId>>
+      departures_live_;
+  std::deque<double> offered_ring_, alloc_ring_;
+
   std::unordered_map<workload::RequestId, ActiveInfo> active_;
   double active_cost_ = 0;  // Σ over active accepted of d·unit_cost
 
@@ -366,20 +448,33 @@ void Server::start(core::OnlineEmbedder& algo, Clock& clock) {
                   "replan install_delay must stay in [1, period)");
     OLIVE_REQUIRE(config_.replan.window >= 0, "replan window must be >= 0");
   }
-  stop_requested_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  stop_requested_.store(false, std::memory_order_seq_cst);
   drain_on_stop_.store(true, std::memory_order_release);
   submitted_.store(0, std::memory_order_relaxed);
   queue_rejects_.store(0, std::memory_order_relaxed);
   stats_ = ServerStats{};
-  clock_ = &clock;
+  clock_.store(&clock, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this, &algo, &clock] { serve_loop(algo, clock); });
 }
 
 Server::Submit Server::submit(const workload::Request& r) {
-  if (!running() || stop_requested_.load(std::memory_order_acquire))
+  // The in-flight window is the submit/stop handshake: the serving thread
+  // waits for in_flight_ == 0 after observing stop_requested_, so a call
+  // that slipped past the checks below finishes its push (and is drained
+  // or counted abandoned) before the final queue pass, and clock_ is
+  // never torn down while we hold it — nothing is ever stranded.
+  in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  struct InFlight {
+    std::atomic<long>& n;
+    ~InFlight() { n.fetch_sub(1, std::memory_order_seq_cst); }
+  } guard{in_flight_};
+  if (!running() || stop_requested_.load(std::memory_order_seq_cst))
     return Submit::Stopped;
-  Queued q{r, clock_->now()};
+  Clock* const clock = clock_.load(std::memory_order_acquire);
+  if (clock == nullptr) return Submit::Stopped;
+  Queued q{r, clock->now()};
   if (!queue_->try_push(std::move(q))) {
     queue_rejects_.fetch_add(1, std::memory_order_relaxed);
     return Submit::QueueFull;
@@ -389,12 +484,15 @@ Server::Submit Server::submit(const workload::Request& r) {
 }
 
 void Server::stop(bool drain) {
+  // The lock makes stop() idempotent under concurrency: only one caller
+  // reaches join(), later ones see an unjoinable thread and return.
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (!thread_.joinable()) return;
   drain_on_stop_.store(drain, std::memory_order_release);
-  stop_requested_.store(true, std::memory_order_release);
+  stop_requested_.store(true, std::memory_order_seq_cst);
   thread_.join();
   running_.store(false, std::memory_order_release);
-  clock_ = nullptr;
+  clock_.store(nullptr, std::memory_order_release);
 }
 
 void Server::serve_loop(core::OnlineEmbedder& algo, Clock& clock) {
@@ -402,7 +500,7 @@ void Server::serve_loop(core::OnlineEmbedder& algo, Clock& clock) {
   ServerStats st;
   RunCore core(sim, resolve_psi(substrate_, apps_, sim),
                blank_metrics(substrate_, apps_, algo.name()),
-               /*n_slots=*/-1);
+               /*n_slots=*/-1, config_.series_window_slots);
 
   engine::ReplanPolicy replan(substrate_, apps_, config_.replan);
   const int replan_window = config_.replan.window > 0 ? config_.replan.window
@@ -417,15 +515,38 @@ void Server::serve_loop(core::OnlineEmbedder& algo, Clock& clock) {
 
   algo.reset();
   const auto t0 = clock.now();
-  int t = 0;
+  // Slots are 64-bit: a live run has no horizon, and an int would overflow
+  // (UB) after ~2^31 slots — about 8 months at the default 10 ms slot.
+  std::int64_t t = 0;
+  constexpr std::int64_t kMaxIntSlot = std::numeric_limits<int>::max();
   bool stopping = false;
+
+  // Pops up to max_batch queued requests into batch/enq, stamping ids and
+  // the current slot (Request::arrival is an int and saturates at INT_MAX;
+  // RunCore's own bookkeeping runs on the 64-bit slot).
+  const auto fill_batch = [&] {
+    batch.clear();
+    enq.clear();
+    Queued q;
+    while (batch.size() < config_.max_batch && queue_->try_pop(q)) {
+      q.req.id = next_id++;
+      q.req.arrival = static_cast<int>(std::min(t, kMaxIntSlot));
+      batch.push_back(q.req);
+      enq.push_back(q.enqueued);
+    }
+  };
+
   while (!stopping) {
+    // The re-plan policy speaks int slots; past INT_MAX it simply stays
+    // quiet rather than overflowing.
+    const int ti = static_cast<int>(std::min(t, kMaxIntSlot));
+
     // Plan hot-swap at the policy-fixed install slot, before this slot's
     // releases and arrivals — slot t is the first slot served by the new
     // plan, the same boundary position as the batch engine.  The wait (if
     // the async solve is still flying) is the swap stall the histogram
     // cannot see: admissions simply pause, so it is reported separately.
-    if (replan.pending_install_slot() == t) {
+    if (t <= kMaxIntSlot && replan.pending_install_slot() == ti) {
       const auto stall_start = clock.now();
       engine::ReplanPolicy::Result res = replan.collect();
       const bool installed = algo.install_plan(std::move(res.plan));
@@ -440,41 +561,36 @@ void Server::serve_loop(core::OnlineEmbedder& algo, Clock& clock) {
       }
     }
 
+    core.begin_slot(t);
     core.depart(algo, t);
 
-    if (replan.wants_launch(t)) {
+    if (t <= kMaxIntSlot && replan.wants_launch(ti)) {
       // Prune the demand feed to the trailing window before handing it to
       // the policy (launch copies what it needs; the feed keeps growing
       // while the solve flies).
-      const int keep_from = t - replan_window;
+      const int keep_from = ti - replan_window;
       std::erase_if(window, [keep_from](const workload::Request& r) {
         return r.arrival < keep_from;
       });
-      replan.launch(window, /*base=*/0, t);
+      replan.launch(window, /*base=*/0, ti);
     }
 
     // Drain until this slot's wall deadline.  If the serving thread falls
     // behind (overload), deadlines in the past make the slot advance
-    // immediately — slots never stretch, they are wall time.
+    // immediately — slots never stretch, they are wall time.  A stop
+    // request breaks out at once, whatever the backlog: the final pass
+    // below settles the queue.
     const auto deadline = t0 + (t + 1) * config_.slot_duration;
     for (;;) {
+      if (stop_requested_.load(std::memory_order_seq_cst)) {
+        stopping = true;
+        break;
+      }
       if (clock.now() >= deadline) break;
       st.queue_high_water =
           std::max(st.queue_high_water, queue_->approx_size());
-      batch.clear();
-      enq.clear();
-      Queued q;
-      while (batch.size() < config_.max_batch && queue_->try_pop(q)) {
-        q.req.id = next_id++;
-        q.req.arrival = t;
-        batch.push_back(q.req);
-        enq.push_back(q.enqueued);
-      }
+      fill_batch();
       if (batch.empty()) {
-        if (stop_requested_.load(std::memory_order_acquire)) {
-          stopping = true;
-          break;
-        }
         clock.sleep_until(std::min(deadline, clock.now() + config_.idle_backoff));
         continue;
       }
@@ -484,26 +600,26 @@ void Server::serve_loop(core::OnlineEmbedder& algo, Clock& clock) {
                  &st.admission_latency, enq.data(), &clock);
     }
 
-    if (!stopping && stop_requested_.load(std::memory_order_acquire) &&
-        queue_->approx_size() == 0)
-      stopping = true;
-
-    if (stopping && drain_on_stop_.load(std::memory_order_acquire)) {
-      // Graceful drain: decide everything still enqueued at this slot.
-      // submit() already bounces with Stopped, so the queue only shrinks.
-      for (;;) {
-        batch.clear();
-        enq.clear();
-        Queued q;
-        while (batch.size() < config_.max_batch && queue_->try_pop(q)) {
-          q.req.id = next_id++;
-          q.req.arrival = t;
-          batch.push_back(q.req);
-          enq.push_back(q.enqueued);
+    if (stopping) {
+      // Quiesce producers: submit() bounces with Stopped from the moment
+      // stop_requested_ is set, and any call that slipped past that check
+      // is inside the in-flight window — wait it out, after which no push
+      // can still be in flight and the queue can only shrink to empty.
+      while (in_flight_.load(std::memory_order_seq_cst) != 0)
+        std::this_thread::yield();
+      if (drain_on_stop_.load(std::memory_order_acquire)) {
+        // Graceful drain: decide everything still enqueued at this slot.
+        for (;;) {
+          fill_batch();
+          if (batch.empty()) break;
+          core.admit(algo, t, /*base=*/0, batch.data(), batch.size(),
+                     &st.admission_latency, enq.data(), &clock);
         }
-        if (batch.empty()) break;
-        core.admit(algo, t, /*base=*/0, batch.data(), batch.size(),
-                   &st.admission_latency, enq.data(), &clock);
+      } else {
+        // Prompt abandon: discard the backlog undecided, but keep the
+        // conservation ledger exact (decided + abandoned == submitted).
+        Queued q;
+        while (queue_->try_pop(q)) ++st.abandoned;
       }
     }
 

@@ -24,6 +24,7 @@
 #include <chrono>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -61,6 +62,11 @@ struct ServerConfig {
   std::size_t max_batch = 1024;
   /// Nap length while the queue is empty (bounded so stop() is prompt).
   std::chrono::nanoseconds idle_backoff = std::chrono::microseconds(50);
+  /// Live mode keeps only this many trailing slots of the offered/allocated
+  /// series (0 disables series collection entirely) — a long-lived service
+  /// must not grow per-slot state without bound.  Ignored by run_simulated,
+  /// whose series span the whole bounded run, exactly like run_stream's.
+  std::size_t series_window_slots = 4096;
 };
 
 /// Long-lived serving facade over one OnlineEmbedder.  The embedder and the
@@ -101,11 +107,17 @@ class Server {
   /// Hands one request to the serving thread (id and arrival slot are
   /// assigned by the server at drain time; the caller's values are
   /// ignored).  Wait-free; returns QueueFull instead of ever blocking.
+  /// Safe to race with stop(): each call registers in an in-flight window
+  /// the serving thread waits out before its final drain, so a submission
+  /// that passed the stop check is always decided (drain=true) or counted
+  /// abandoned (drain=false) — never stranded in the queue.
   Submit submit(const workload::Request& r);
 
   /// Stops the serving thread and joins it.  drain=true (graceful) decides
-  /// every already-enqueued request first; drain=false abandons the queue.
-  /// Idempotent; submit() returns Stopped from the moment stop() begins.
+  /// every already-enqueued request first; drain=false discards the backlog
+  /// promptly without deciding it (counted in ServerStats::abandoned).
+  /// Idempotent and safe to call from multiple threads concurrently;
+  /// submit() returns Stopped from the moment stop() begins.
   void stop(bool drain = true);
 
   bool running() const noexcept {
@@ -130,11 +142,13 @@ class Server {
   const std::vector<net::Application>& apps_;
   ServerConfig config_;
   std::unique_ptr<MpscQueue<Queued>> queue_;
-  Clock* clock_ = nullptr;  // set by start(), read by submit()
+  std::atomic<Clock*> clock_{nullptr};  // set by start(), read by submit()
+  std::mutex lifecycle_mu_;             // serializes start()/stop()
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> drain_on_stop_{true};
+  std::atomic<long> in_flight_{0};  // submit() calls between entry and exit
   std::atomic<long> submitted_{0};
   std::atomic<long> queue_rejects_{0};
   ServerStats stats_;

@@ -214,8 +214,87 @@ TEST_F(LiveServer, StopWithoutDrainStaysConsistent) {
   EXPECT_EQ(st.submitted, enqueued);
   EXPECT_LE(st.decided, st.submitted);  // abandoning the queue is allowed...
   EXPECT_EQ(st.decided, st.accepted + st.rejected);  // ...but stays coherent
+  // The backlog is discarded, never silently lost: the ledger is exact.
+  EXPECT_EQ(st.decided + st.abandoned, st.submitted);
   EXPECT_EQ(st.admission_latency.count(),
             static_cast<std::uint64_t>(st.decided));
+}
+
+TEST_F(LiveServer, SubmitRacingStopNeverStrandsARequest) {
+  // Producers keep submitting WHILE stop() runs — the exact interleaving
+  // the in-flight handshake exists for: a submit that passed the stop
+  // check must still be decided by the graceful drain, and late ones must
+  // bounce with Stopped, so enqueued == decided exactly.
+  serve::ServerConfig scfg;
+  scfg.sim.measure_from = 0;
+  scfg.sim.measure_to = 1 << 30;
+  scfg.slot_duration = 1ms;
+  scfg.queue_capacity = 1 << 10;
+  serve::Server server(substrate_, apps_, scfg);
+  core::OliveEmbedder algo(substrate_, apps_, core::Plan::empty(), "QuickG");
+  serve::SteadyClock clock;
+  server.start(algo, clock);
+
+  constexpr int kProducers = 4;
+  std::atomic<long> enqueued{0};
+  std::atomic<bool> saw_stopped{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      // Run until the server turns us away (well past the stop() below).
+      for (std::size_t i = 0; !saw_stopped.load(std::memory_order_relaxed);
+           ++i) {
+        const auto& body =
+            bodies_[(p + i * kProducers) % bodies_.size()];
+        switch (server.submit(body)) {
+          case serve::Server::Submit::Enqueued:
+            enqueued.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case serve::Server::Submit::Stopped:
+            saw_stopped.store(true, std::memory_order_relaxed);
+            break;
+          case serve::Server::Submit::QueueFull:
+            std::this_thread::yield();
+            break;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(20ms);
+  server.stop(/*drain=*/true);  // races the producers by design
+  for (auto& t : producers) t.join();
+
+  const serve::ServerStats& st = server.stats();
+  EXPECT_EQ(st.submitted, enqueued.load());
+  EXPECT_EQ(st.decided, st.submitted)
+      << "graceful drain must decide every submission that enqueued, even "
+         "ones racing stop()";
+  EXPECT_EQ(st.decided, st.accepted + st.rejected);
+  EXPECT_EQ(st.abandoned, 0);
+  EXPECT_TRUE(saw_stopped.load());
+}
+
+TEST_F(LiveServer, ConcurrentStopCallsAreSafeAndIdempotent) {
+  serve::ServerConfig scfg;
+  scfg.sim.measure_from = 0;
+  scfg.sim.measure_to = 1 << 30;
+  scfg.slot_duration = 1ms;
+  serve::Server server(substrate_, apps_, scfg);
+  core::OliveEmbedder algo(substrate_, apps_, core::Plan::empty(), "QuickG");
+  serve::SteadyClock clock;
+  server.start(algo, clock);
+  for (int i = 0; i < 1000; ++i) server.submit(bodies_[i % bodies_.size()]);
+
+  // Both threads race stop(); exactly one joins, the other must return
+  // cleanly (double-join would terminate the process).
+  std::thread a([&] { server.stop(/*drain=*/true); });
+  std::thread b([&] { server.stop(/*drain=*/true); });
+  a.join();
+  b.join();
+  EXPECT_FALSE(server.running());
+  server.stop();  // and a third, sequential call is still a no-op
+  const serve::ServerStats& st = server.stats();
+  EXPECT_EQ(st.decided, st.submitted);
 }
 
 TEST_F(LiveServer, PlanHotSwapLandsUnderLoad) {
