@@ -421,7 +421,7 @@ inline void write_json(const std::string& bench,
 }
 
 // ---------------------------------------------------------------------------
-// BENCH_perf.json emission (schema olive-perf-v7, see EXPERIMENTS.md).
+// BENCH_perf.json emission (schema olive-perf-v8, see EXPERIMENTS.md).
 // Shared here so the perf harness and any future bench emit identical rows.
 
 /// One measured case of the perf trajectory.
@@ -486,7 +486,7 @@ inline void write_perf_json(const std::string& path, const BenchScale& scale,
                             const std::vector<PerfCase>& cases) {
   std::ofstream out(path);
   out << "{\n"
-      << "  \"schema\": \"olive-perf-v7\",\n"
+      << "  \"schema\": \"olive-perf-v8\",\n"
       << "  \"scale\": \"" << (scale.full ? "full" : "quick") << "\",\n"
       << "  \"pricing_threads\": " << pricing_threads << ",\n"
       << "  \"harness_threads\": 1,\n"

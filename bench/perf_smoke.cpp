@@ -228,6 +228,48 @@ int main(int argc, char** argv) {
     print_case(rp);
   }
 
+  // --- replan portfolio -----------------------------------------------------
+  // The same drifting-utilization run with portfolio re-planning
+  // (ReplanConfig::candidates = 4, docs/replanning.md): each launch solves
+  // four candidate configurations concurrently — losers bounded by the
+  // early-termination gap — scores them by replaying the trailing window
+  // against forked WorldState clones, and installs only the winner.  The
+  // row's solver counters and `objective` cover the *winning* solves (the
+  // engine accrues the installed candidate's PlanSolveInfo), so the column
+  // stays deterministic and CI-diffable like replan_window's.
+  {
+    auto cfg = bench::base_config(scale, "Iris", 1.0);
+    cfg.drift = 1.5;
+    const core::Scenario sc = core::build_scenario(cfg, 0);
+    engine::EngineConfig ecfg;
+    ecfg.sim = cfg.sim;
+    ecfg.replan.period = (scale.horizon - scale.plan_slots) / 3;
+    ecfg.replan.plan = cfg.plan;
+    ecfg.replan.plan.max_rounds = 8;
+    ecfg.replan.seed = cfg.seed;
+    ecfg.replan.candidates = 4;
+    engine::Engine eng(sc.substrate, sc.apps, ecfg);
+    core::OliveEmbedder algo(sc.substrate, sc.apps, sc.plan, "OLIVE");
+    bench::PerfCase rp;
+    rp.name = "replan_portfolio";
+    rp.topology = "Iris";
+    const auto start = Clock::now();
+    const auto m = eng.run(algo, sc.online);
+    rp.seconds_total = seconds_since(start);
+    rp.reps = static_cast<int>(m.plan_solves);
+    rp.replans = m.replans;
+    rp.simplex_iterations = m.plan_simplex_iterations;
+    rp.pricing_rounds = m.plan_rounds;
+    rp.columns_generated = m.plan_columns_generated;
+    rp.refactorizations = m.plan_refactorizations;
+    rp.eta_length_max = m.plan_eta_length_max;
+    rp.warm_start_hits = m.plan_warm_start_hits;
+    rp.objective = m.plan_objective_sum;
+    rp.rejection_rate = m.rejection_rate();
+    cases.push_back(rp);
+    print_case(rp);
+  }
+
   // --- fat-tree scale cases -------------------------------------------------
   // k=8 is several times the paper's largest topology (208 nodes, 384
   // links); here the sparse basis must show a superlinear win over the

@@ -9,7 +9,7 @@
 // thread drains batches, decides each admission via the OLIVE fast path,
 // expires leases at slot boundaries, and hot-swaps re-planned allocations
 // mid-run.  Emits one `serve_load` case into BENCH_perf.json (schema
-// olive-perf-v7): sustained req/s, p50/p99/p999 admission latency, queue
+// olive-perf-v8): sustained req/s, p50/p99/p999 admission latency, queue
 // rejects, and plan swaps.
 //
 // Knobs: --duration-s (wall seconds, default 2), --target-rps (Poisson

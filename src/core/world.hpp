@@ -1,0 +1,51 @@
+// Value-semantics world snapshots for what-if planning (docs/replanning.md).
+//
+// A WorldState captures everything an OnlineEmbedder needs to recreate its
+// mid-run state: the LoadTracker's capacities and committed usage, the
+// active-allocation ledger, and the embedder's plan/cache view.  The payload
+// is opaque (each embedder defines its own snapshot type) and immutable —
+// copying a WorldState is a shared_ptr bump, never a deep copy — so the
+// engine can hand one snapshot to K concurrent candidate evaluations while
+// the live embedder keeps mutating.
+//
+// Contract (pinned by tests/world_test.cpp):
+//  * `w = algo.snapshot(); ...; algo.restore(w)` rewinds `algo` to the
+//    snapshotted state bit for bit: driving the restored embedder through a
+//    trace tail produces decisions identical to a never-disturbed run.
+//  * `algo.fork(w)` builds an *independent* embedder in state `w` without
+//    touching `algo`.  fork() must be safe to call concurrently with
+//    mutations of the live embedder: it may read only construction-time
+//    immutable state (substrate, apps, options) plus the snapshot payload.
+//  * Embedders without snapshot support return an empty WorldState /
+//    false / nullptr — the engine rejects portfolio re-planning for them,
+//    exactly like it rejects failure traces via set_element_capacity.
+#pragma once
+
+#include <any>
+#include <string>
+#include <utility>
+
+namespace olive::core {
+
+/// Opaque, cheaply copyable snapshot of one embedder's world.  The payload
+/// is produced and consumed by the same embedder type; `producer` guards
+/// against handing one embedder's snapshot to another kind.
+class WorldState {
+ public:
+  WorldState() = default;
+  WorldState(std::string producer, std::any payload)
+      : producer_(std::move(producer)), payload_(std::move(payload)) {}
+
+  bool empty() const noexcept { return !payload_.has_value(); }
+
+  /// Type name of the embedder that produced this snapshot ("" when empty).
+  const std::string& producer() const noexcept { return producer_; }
+
+  const std::any& payload() const noexcept { return payload_; }
+
+ private:
+  std::string producer_;
+  std::any payload_;  // holds a shared_ptr<const Snapshot> — copies are O(1)
+};
+
+}  // namespace olive::core

@@ -404,7 +404,10 @@ SimMetrics Engine::run(core::OnlineEmbedder& algo,
       std::vector<double> capacity_snapshot;
       if (dynamics && config_.replan.capacity_aware)
         capacity_snapshot = algo.load().capacities();
-      replan.launch(trace, base, t, capacity_snapshot);
+      // Portfolio mode additionally snapshots the embedder's world here (on
+      // this thread, at the policy-fixed slot) and scores candidates with
+      // the same ψ the metrics charge.
+      replan.launch(trace, base, t, capacity_snapshot, &algo, &psi);
       metrics.algo_seconds += seconds_since(launch_start);
     }
 
@@ -851,6 +854,25 @@ SimMetrics Engine::run_slotoff(const workload::Trace& trace,
 
   metrics.accepted = metrics.offered - metrics.rejected - metrics.preempted;
   return metrics;
+}
+
+DryRunReport Engine::dry_run_plan(const core::OnlineEmbedder& algo,
+                                  core::Plan plan,
+                                  const workload::Trace& window) const {
+  DryRunReport report;
+  const core::WorldState snap = algo.snapshot();
+  if (snap.empty()) return report;
+  const std::unique_ptr<core::OnlineEmbedder> clone = algo.fork(snap);
+  if (clone == nullptr) return report;
+  report.supported = true;
+  report.installed = clone->install_plan(std::move(plan));
+  std::int64_t horizon = 0;
+  for (const auto& r : window)
+    horizon = std::max(horizon,
+                       static_cast<std::int64_t>(r.arrival) + r.duration);
+  const std::vector<double> psi = resolve_psi(substrate_, apps_, config_.sim);
+  report.score = replay_window(*clone, window, horizon, psi);
+  return report;
 }
 
 }  // namespace olive::engine

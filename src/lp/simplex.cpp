@@ -20,6 +20,7 @@ const char* to_string(Status s) noexcept {
     case Status::Infeasible: return "Infeasible";
     case Status::Unbounded: return "Unbounded";
     case Status::IterationLimit: return "IterationLimit";
+    case Status::GoodEnough: return "GoodEnough";
   }
   return "?";
 }
@@ -613,7 +614,21 @@ SolveResult Simplex::run(bool phase1, long& iteration_budget) {
   int pivots_since_refactor = 0;
   long iters = 0;
 
+  // Diminishing-returns early termination (SimplexOptions::early_term_gap;
+  // phase 2 only — a GoodEnough result must be primal feasible).  Tracks the
+  // objective gain of each applied step (bound flips included) in a trailing
+  // ring; pure function of the deterministic pivot sequence.
+  const bool early_term = !phase1 && options_.early_term_gap > 0;
+  const int et_window = std::max(1, options_.early_term_window);
+  double et_total = 0, et_window_sum = 0;
+  long et_steps = 0;
+  std::vector<double> et_ring;
+  if (early_term) et_ring.assign(static_cast<std::size_t>(et_window), 0.0);
+
   while (true) {
+    if (early_term && et_steps >= et_window && et_total > 0 &&
+        et_window_sum <= options_.early_term_gap * et_total)
+      return finish(Status::GoodEnough, iters);
     if (iteration_budget-- <= 0) return finish(Status::IterationLimit, iters);
     ++iters;
 
@@ -668,6 +683,14 @@ SolveResult Simplex::run(bool phase1, long& iteration_budget) {
 
     // Apply the step.
     for (int i = 0; i < n_rows_; ++i) xb_[i] -= dir * t * alpha[i];
+
+    if (early_term) {
+      const double gain = -(entering_rc * dir * t);  // objective gain, >= 0
+      const std::size_t pos = static_cast<std::size_t>(et_steps++ % et_window);
+      et_window_sum += gain - et_ring[pos];
+      et_ring[pos] = gain;
+      et_total += gain;
+    }
 
     if (leaving_row < 0) {
       // Bound flip: the entering variable traverses its whole range.  The
@@ -891,7 +914,10 @@ void Simplex::extract_solution(SolveResult& res) {
 
 SolveResult Simplex::resolve_internal(long& budget) {
   SolveResult res = run(/*phase1=*/false, budget);
-  if (res.status != Status::Optimal) return res;
+  // GoodEnough bases are primal feasible, just not proven optimal — their
+  // solution and duals are exact for the final basis and safe to extract.
+  if (res.status != Status::Optimal && res.status != Status::GoodEnough)
+    return res;
   extract_solution(res);
   return res;
 }

@@ -43,7 +43,10 @@
 
 namespace olive::lp {
 
-enum class Status { Optimal, Infeasible, Unbounded, IterationLimit };
+/// GoodEnough: phase-2 stopped early by the diminishing-returns rule
+/// (SimplexOptions::early_term_gap).  The basis is primal feasible and the
+/// extracted solution/duals are exact for it — only optimality is waived.
+enum class Status { Optimal, Infeasible, Unbounded, IterationLimit, GoodEnough };
 
 const char* to_string(Status s) noexcept;
 
@@ -106,6 +109,20 @@ struct SimplexOptions {
   /// switches large masters to SteepestEdge automatically
   /// (PlanVneConfig::steepest_edge_rows).
   PricingRule pricing = PricingRule::Dantzig;
+  /// Diminishing-returns early termination for phase 2 ("good enough"
+  /// bounded solves; docs/replanning.md).  0 — the default — disables it and
+  /// leaves every code path bit-identical to the exact solver.  > 0: after
+  /// at least `early_term_window` phase-2 pivots, the solve stops with
+  /// Status::GoodEnough once the objective improvement of the trailing
+  /// `early_term_window` pivots is at most `early_term_gap` times the total
+  /// phase-2 improvement so far.  The rule reads only the deterministic
+  /// pivot sequence (never wall time), so bounded solves are bit-identical
+  /// at every thread count.  Phase 1 is never cut short: a GoodEnough
+  /// result is always primal feasible.
+  double early_term_gap = 0.0;
+  /// Trailing pivot window of the early-termination rule (also the minimum
+  /// pivot count before it may fire).
+  int early_term_window = 32;
 };
 
 /// A basis snapshot that survives across Simplex instances.  Rows and

@@ -447,6 +447,14 @@ void Server::start(core::OnlineEmbedder& algo, Clock& clock) {
                       config_.replan.install_delay < config_.replan.period,
                   "replan install_delay must stay in [1, period)");
     OLIVE_REQUIRE(config_.replan.window >= 0, "replan window must be >= 0");
+    OLIVE_REQUIRE(config_.replan.candidates >= 1,
+                  "replan candidates must be >= 1");
+    // Portfolio re-planning snapshots the embedder at every launch slot; an
+    // embedder without WorldState support would only be discovered inside
+    // the serving thread, so refuse it here like an invalid period.
+    OLIVE_REQUIRE(config_.replan.candidates == 1 || !algo.snapshot().empty(),
+                  "portfolio re-planning (candidates > 1) requires an "
+                  "embedder with world snapshot support");
   }
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   stop_requested_.store(false, std::memory_order_seq_cst);
@@ -498,8 +506,10 @@ void Server::stop(bool drain) {
 void Server::serve_loop(core::OnlineEmbedder& algo, Clock& clock) {
   const SimulatorConfig& sim = config_.sim;
   ServerStats st;
-  RunCore core(sim, resolve_psi(substrate_, apps_, sim),
-               blank_metrics(substrate_, apps_, algo.name()),
+  // One resolved ψ vector serves both the metrics tally (inside RunCore)
+  // and the portfolio replay scorer.
+  const std::vector<double> psi = resolve_psi(substrate_, apps_, sim);
+  RunCore core(sim, psi, blank_metrics(substrate_, apps_, algo.name()),
                /*n_slots=*/-1, config_.series_window_slots);
 
   engine::ReplanPolicy replan(substrate_, apps_, config_.replan);
@@ -537,16 +547,16 @@ void Server::serve_loop(core::OnlineEmbedder& algo, Clock& clock) {
   };
 
   while (!stopping) {
-    // The re-plan policy speaks int slots; past INT_MAX it simply stays
-    // quiet rather than overflowing.
-    const int ti = static_cast<int>(std::min(t, kMaxIntSlot));
-
     // Plan hot-swap at the policy-fixed install slot, before this slot's
     // releases and arrivals — slot t is the first slot served by the new
     // plan, the same boundary position as the batch engine.  The wait (if
     // the async solve is still flying) is the swap stall the histogram
     // cannot see: admissions simply pause, so it is reported separately.
-    if (t <= kMaxIntSlot && replan.pending_install_slot() == ti) {
+    // The policy speaks 64-bit slots, so no part of the re-plan loop caps
+    // out with uptime (Request::arrival still saturates at INT_MAX inside
+    // fill_batch — past that the demand feed degrades gracefully: windows
+    // keep clipping, they just stop distinguishing arrival slots).
+    if (replan.pending_install_slot() == t) {
       const auto stall_start = clock.now();
       engine::ReplanPolicy::Result res = replan.collect();
       const bool installed = algo.install_plan(std::move(res.plan));
@@ -564,15 +574,18 @@ void Server::serve_loop(core::OnlineEmbedder& algo, Clock& clock) {
     core.begin_slot(t);
     core.depart(algo, t);
 
-    if (t <= kMaxIntSlot && replan.wants_launch(ti)) {
+    if (replan.wants_launch(t)) {
       // Prune the demand feed to the trailing window before handing it to
       // the policy (launch copies what it needs; the feed keeps growing
       // while the solve flies).
-      const int keep_from = ti - replan_window;
+      const std::int64_t keep_from = t - replan_window;
       std::erase_if(window, [keep_from](const workload::Request& r) {
         return r.arrival < keep_from;
       });
-      replan.launch(window, /*base=*/0, ti);
+      // Portfolio mode (candidates > 1) snapshots the live embedder here —
+      // between slots, on the serving thread, so the snapshot is a
+      // consistent world — and scores candidates with the tally's ψ.
+      replan.launch(window, /*base=*/0, t, /*capacities=*/{}, &algo, &psi);
     }
 
     // Drain until this slot's wall deadline.  If the serving thread falls

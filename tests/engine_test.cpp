@@ -16,6 +16,7 @@
 #include "core/simulator.hpp"
 #include "engine/engine.hpp"
 #include "engine/registry.hpp"
+#include "net/embedding.hpp"
 
 namespace olive::engine {
 namespace {
@@ -279,6 +280,173 @@ TEST(EngineReplan, PlanlessEmbedderDisablesThePolicyAfterOneRefusal) {
   ASSERT_EQ(counter.replans.size(), 1u);  // one refused swap, then silence
   EXPECT_FALSE(counter.replans[0].installed);
   EXPECT_EQ(metrics.accepted, 0);  // it rejects everything
+}
+
+// ----------------------------------------------- clip_window boundaries
+//
+// The demand-window clip every re-plan aggregates over.  Both boundary
+// rules were audited in PR 10 and are pinned here exactly:
+//  * a request with arrival + duration == from departed at the instant the
+//    window opens and contributes nothing — it must be excluded;
+//  * an arrival before `from` that is still active inside the window is
+//    kept, re-based to arrival 0, with its duration clipped to the part
+//    overlapping [from, slot).
+
+workload::Request make_req(workload::RequestId id, int arrival, int duration) {
+  workload::Request r;
+  r.id = id;
+  r.arrival = arrival;
+  r.duration = duration;
+  r.ingress = 0;
+  r.app = 0;
+  r.demand = 1.0;
+  return r;
+}
+
+TEST(ClipWindow, DepartureExactlyAtWindowStartIsExcluded) {
+  workload::Trace trace;
+  trace.push_back(make_req(1, 0, 10));  // departure == 10 == from: excluded
+  trace.push_back(make_req(2, 0, 11));  // departure 11 > from: one slot left
+  const workload::Trace clipped = clip_window(trace, /*base=*/0,
+                                              /*from=*/10, /*slot=*/20);
+  ASSERT_EQ(clipped.size(), 1u);
+  EXPECT_EQ(clipped[0].id, 2);
+  EXPECT_EQ(clipped[0].arrival, 0);   // re-based to window coordinates
+  EXPECT_EQ(clipped[0].duration, 1);  // only the overlap survives
+}
+
+TEST(ClipWindow, PreWindowArrivalIsClippedToTheOverlap) {
+  workload::Trace trace;
+  trace.push_back(make_req(1, 5, 100));  // spans the whole window and past it
+  trace.push_back(make_req(2, 12, 3));   // fully inside
+  trace.push_back(make_req(3, 20, 5));   // arrival == slot: not yet visible
+  const workload::Trace clipped = clip_window(trace, /*base=*/0,
+                                              /*from=*/10, /*slot=*/20);
+  ASSERT_EQ(clipped.size(), 2u);
+  EXPECT_EQ(clipped[0].id, 1);
+  EXPECT_EQ(clipped[0].arrival, 0);    // 5 < from: re-based to the start
+  EXPECT_EQ(clipped[0].duration, 10);  // clipped to [from, slot)
+  EXPECT_EQ(clipped[1].id, 2);
+  EXPECT_EQ(clipped[1].arrival, 2);
+  EXPECT_EQ(clipped[1].duration, 3);
+}
+
+TEST(ClipWindow, RespectsTraceBaseAnd64BitSlots) {
+  workload::Trace trace;
+  trace.push_back(make_req(1, 1000, 4));  // slot 0 once re-based
+  trace.push_back(make_req(2, 1015, 4));
+  const workload::Trace clipped = clip_window(trace, /*base=*/1000,
+                                              /*from=*/14, /*slot=*/18);
+  ASSERT_EQ(clipped.size(), 1u);
+  EXPECT_EQ(clipped[0].id, 2);
+  EXPECT_EQ(clipped[0].arrival, 1);
+  EXPECT_EQ(clipped[0].duration, 3);  // departure 19 clips at slot 18
+}
+
+// ------------------------------------------------- portfolio re-planning
+
+TEST(EngineReplanPortfolio, WinnerInstallsAndEventsCarryScores) {
+  const core::ScenarioConfig cfg = drifting_config();
+  const core::Scenario sc = core::build_scenario(cfg);
+
+  EngineConfig ecfg{cfg.sim, drifting_replan(cfg), {}};
+  ecfg.replan.candidates = 4;
+  Engine engine(sc.substrate, sc.apps, ecfg);
+  CountingObserver counter;
+  engine.add_observer(&counter);
+  core::OliveEmbedder algo(sc.substrate, sc.apps, sc.plan, "OLIVE");
+  const core::SimMetrics portfolio = engine.run(algo, sc.online);
+
+  EXPECT_EQ(portfolio.replans, 2);
+  ASSERT_EQ(counter.replans.size(), 2u);
+  for (const ReplanEvent& ev : counter.replans) {
+    EXPECT_TRUE(ev.installed);
+    EXPECT_EQ(ev.candidates, 4);
+    ASSERT_EQ(ev.scores.size(), 4u);
+    EXPECT_GE(ev.winner, 0);
+    EXPECT_LT(ev.winner, 4);
+    // The winner really is the portfolio argmin (ties to the lowest index).
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_LE(ev.scores[ev.winner], ev.scores[k]) << "candidate " << k;
+      if (ev.scores[k] == ev.scores[ev.winner]) {
+        EXPECT_LE(ev.winner, k);
+      }
+    }
+  }
+
+  // Acceptance criterion: on the drifting workload the portfolio winner
+  // must not lose to the single-candidate policy on rejections.
+  EngineConfig single_cfg{cfg.sim, drifting_replan(cfg), {}};
+  Engine single_engine(sc.substrate, sc.apps, single_cfg);
+  core::OliveEmbedder single_algo(sc.substrate, sc.apps, sc.plan, "OLIVE");
+  const core::SimMetrics single = single_engine.run(single_algo, sc.online);
+  EXPECT_LE(portfolio.rejection_rate(), single.rejection_rate());
+}
+
+TEST(EngineReplanPortfolio, RefusesEmbeddersWithoutWorldSnapshots) {
+  const core::ScenarioConfig cfg = drifting_config();
+  const core::Scenario sc = core::build_scenario(cfg);
+  EngineConfig ecfg{cfg.sim, drifting_replan(cfg), {}};
+  ecfg.replan.candidates = 2;
+  Engine engine(sc.substrate, sc.apps, ecfg);
+  PlanlessEmbedder algo(sc.substrate);
+  // Same rejection style as failure traces vs set_element_capacity: the
+  // run refuses outright rather than silently degrading to K = 1.
+  EXPECT_THROW(engine.run(algo, sc.online), std::exception);
+}
+
+// ------------------------------------------------------- dry_run_plan
+
+TEST(EngineDryRun, ScoresACandidatePlanWithoutDisturbingTheLiveRun) {
+  const core::ScenarioConfig cfg = drifting_config();
+  const core::Scenario sc = core::build_scenario(cfg);
+  Engine engine(sc.substrate, sc.apps, EngineConfig{cfg.sim, {}, {}});
+
+  core::OliveEmbedder algo(sc.substrate, sc.apps, sc.plan, "OLIVE");
+  algo.reset();
+  // Bring the embedder into a non-trivial mid-run state.
+  const int base = sc.online.front().arrival;
+  workload::Trace prefix;
+  for (const auto& r : sc.online)
+    if (r.arrival - base < 60) prefix.push_back(r);
+  for (const auto& r : prefix) algo.embed(r);
+  const core::WorldState before = algo.snapshot();
+
+  const workload::Trace window =
+      clip_window(sc.online, base, /*from=*/30, /*slot=*/60);
+  ASSERT_FALSE(window.empty());
+
+  // Score the current plan and the empty plan (QUICKG behavior) —
+  // both what-ifs must leave the live embedder untouched.
+  const DryRunReport keep = engine.dry_run_plan(algo, sc.plan, window);
+  const DryRunReport drop =
+      engine.dry_run_plan(algo, core::Plan::empty(), window);
+  EXPECT_TRUE(keep.supported);
+  EXPECT_TRUE(keep.installed);
+  EXPECT_TRUE(drop.supported);
+  EXPECT_GT(keep.score.accepted + keep.score.rejected, 0);
+  EXPECT_GE(keep.score.total(), 0.0);
+
+  // The live embedder is bit-identical to before the dry runs: a restore
+  // from the pre-dry-run snapshot must be a no-op for future decisions.
+  const core::WorldState after = algo.snapshot();
+  core::OliveEmbedder replayed(sc.substrate, sc.apps, sc.plan, "OLIVE");
+  ASSERT_TRUE(replayed.restore(before));
+  core::OliveEmbedder replayed2(sc.substrate, sc.apps, sc.plan, "OLIVE");
+  ASSERT_TRUE(replayed2.restore(after));
+  for (const auto& r : sc.online) {
+    if (r.arrival - base < 60 || r.arrival - base >= 90) continue;
+    const core::EmbedOutcome a = replayed.embed(r);
+    const core::EmbedOutcome b = replayed2.embed(r);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(net::fingerprint64(a.embedding), net::fingerprint64(b.embedding));
+  }
+
+  // Unsupported embedders report so instead of lying with a zero score.
+  PlanlessEmbedder planless(sc.substrate);
+  const DryRunReport unsupported =
+      engine.dry_run_plan(planless, sc.plan, window);
+  EXPECT_FALSE(unsupported.supported);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/olive.hpp"
@@ -211,6 +212,57 @@ TEST(ReplanDeterminism, EngineRunBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(serial.allocated_series, parallel.allocated_series) << threads;
     EXPECT_EQ(serial.rejected_by_node_app, parallel.rejected_by_node_app)
         << threads;
+  }
+}
+
+// Portfolio re-planning widens each launch to K concurrent candidate
+// solves scored by world-snapshot replays — all of it still under the same
+// contract.  Sweep K ∈ {1, 2, 4} × pricing threads {1, 4}: for every K the
+// run must be bitwise stable across thread counts (the candidate recipes,
+// the replay scores, and the winner pick are pure functions of the trace
+// prefix and the launch-slot snapshot, so concurrency only moves wall
+// clock).  K = 1 additionally equals the plain single-solve run because it
+// *is* that code path.
+TEST(ReplanDeterminism, PortfolioSweepBitwiseStableAcrossThreadCounts) {
+  ScenarioConfig cfg = small_config("Iris", 7);
+  cfg.drift = 1.5;
+  cfg.sim.drain_slots = 10;
+  const Scenario sc = build_scenario(cfg);
+
+  const auto run_with = [&](int candidates, int threads) {
+    engine::EngineConfig ecfg;
+    ecfg.sim = cfg.sim;
+    ecfg.replan.period = 20;
+    ecfg.replan.plan = cfg.plan;
+    ecfg.replan.plan.max_rounds = 8;
+    ecfg.replan.plan.threads = threads;
+    ecfg.replan.seed = cfg.seed;
+    ecfg.replan.candidates = candidates;
+    engine::Engine eng(sc.substrate, sc.apps, ecfg);
+    OliveEmbedder algo(sc.substrate, sc.apps, sc.plan, "OLIVE");
+    return eng.run(algo, sc.online);
+  };
+
+  for (const int candidates : {1, 2, 4}) {
+    const SimMetrics serial = run_with(candidates, 1);
+    ASSERT_GT(serial.replans, 0) << "K=" << candidates;
+    for (const int threads : {4}) {
+      const SimMetrics parallel = run_with(candidates, threads);
+      const std::string tag =
+          "K=" + std::to_string(candidates) +
+          " threads=" + std::to_string(threads);
+      EXPECT_EQ(serial.offered, parallel.offered) << tag;
+      EXPECT_EQ(serial.accepted, parallel.accepted) << tag;
+      EXPECT_EQ(serial.rejected, parallel.rejected) << tag;
+      EXPECT_EQ(serial.preempted, parallel.preempted) << tag;
+      EXPECT_EQ(serial.rejected_demand, parallel.rejected_demand) << tag;
+      EXPECT_EQ(serial.resource_cost, parallel.resource_cost) << tag;
+      EXPECT_EQ(serial.rejection_cost, parallel.rejection_cost) << tag;
+      EXPECT_EQ(serial.replans, parallel.replans) << tag;
+      EXPECT_EQ(serial.allocated_series, parallel.allocated_series) << tag;
+      EXPECT_EQ(serial.rejected_by_node_app, parallel.rejected_by_node_app)
+          << tag;
+    }
   }
 }
 

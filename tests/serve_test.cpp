@@ -102,6 +102,20 @@ TEST(LatencyHistogram, EmptyAndOverflowAreSafe) {
   EXPECT_EQ(h.count(), 0u);
 }
 
+// PR-10 audit pin: with total_ == 0 every percentile is defined as 0 — no
+// bucket scan, no division by zero — and the property holds again right
+// after a reset(), not just on a never-touched histogram.
+TEST(LatencyHistogram, EmptyHistogramReportsZeroAtEveryPercentile) {
+  serve::LatencyHistogram h;
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0})
+    EXPECT_DOUBLE_EQ(h.percentile_us(q), 0.0) << "q=" << q;
+  h.record(1000);
+  EXPECT_GT(h.percentile_us(0.5), 0.0);
+  h.reset();
+  for (const double q : {0.0, 0.5, 1.0})
+    EXPECT_DOUBLE_EQ(h.percentile_us(q), 0.0) << "after reset, q=" << q;
+}
+
 // -------------------------------------------------- Equivalence lockdown
 
 /// Bitwise equality over every deterministic SimMetrics field (wall-clock
